@@ -1,0 +1,198 @@
+// Command ac3sim runs one configurable atomic cross-chain transaction
+// end to end on freshly simulated blockchains and prints the
+// protocol timeline and final outcome — a small laboratory for
+// watching AC3WN (or the HTLC baseline) work, including under crash
+// failures.
+//
+// Usage:
+//
+//	ac3sim [-protocol ac3wn|ac3tw|htlc] [-parties N] [-seed N]
+//	       [-crash victim] [-recover]
+//
+// -crash makes the last participant crash the moment the commit
+// decision is being pushed (the Section 1 hazard); -recover brings it
+// back an hour later. Watch the baseline lose assets and AC3WN
+// recover them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/xchain"
+)
+
+func main() {
+	protocol := flag.String("protocol", "ac3wn", "protocol: ac3wn|ac3tw|htlc")
+	parties := flag.Int("parties", 2, "number of participants (ring AC2T)")
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	crash := flag.Bool("crash", false, "crash the last participant at the decision point")
+	recoverVictim := flag.Bool("recover", false, "recover the crashed participant after one virtual hour")
+	flag.Parse()
+
+	if *parties < 2 {
+		fmt.Fprintln(os.Stderr, "need at least 2 parties")
+		os.Exit(2)
+	}
+
+	b := xchain.NewBuilder(*seed)
+	ps := make([]*xchain.Participant, *parties)
+	for i := range ps {
+		ps[i] = b.Participant(fmt.Sprintf("p%d", i))
+	}
+	var ids []chain.ID
+	for i := 0; i < *parties; i++ {
+		id := chain.ID(fmt.Sprintf("chain-%d", i))
+		ids = append(ids, id)
+		b.Chain(xchain.DefaultChainSpec(id))
+	}
+	b.Chain(xchain.DefaultChainSpec("witness"))
+	edges := make([]graph.Edge, *parties)
+	for i := range ps {
+		b.Fund(ps[i], ids[i], 1_000_000)
+		edges[i] = graph.Edge{From: ps[i].Addr(), To: ps[(i+1)%*parties].Addr(), Asset: 10_000, Chain: ids[i]}
+	}
+	w, err := b.Build()
+	fatal(err)
+	g, err := graph.New(int64(*seed), edges...)
+	fatal(err)
+
+	victim := ps[len(ps)-1]
+	fmt.Printf("AC2T: %s over %d chains, protocol %s\n\n", g, *parties, *protocol)
+
+	switch *protocol {
+	case "ac3wn":
+		r, err := core.New(w, core.Config{
+			Graph:        g,
+			Participants: ps,
+			Initiator:    ps[0],
+			WitnessChain: "witness",
+			WitnessDepth: 3,
+			AssetDepth:   3,
+		})
+		fatal(err)
+		r.Start()
+		if *crash {
+			armCrash(w, victim, func() bool {
+				for _, ev := range r.Events {
+					if len(ev.Label) > 16 && ev.Label[:16] == "authorize_redeem" {
+						return true
+					}
+				}
+				return false
+			})
+		}
+		w.RunUntil(2 * sim.Hour)
+		if *crash && *recoverVictim {
+			fmt.Printf("--- recovering %s after an hour of downtime ---\n", victim.Name)
+			victim.Recover()
+			r.Resume(victim)
+			w.RunUntil(w.Sim.Now() + time1h)
+		}
+		w.StopMining()
+		w.RunFor(sim.Minute)
+		printEvents := r.Events
+		for _, ev := range printEvents {
+			fmt.Printf("t=%8.1fs  %s\n", float64(ev.At)/1000, label(ev.Label, ev.Edge))
+		}
+		report(r.Grade())
+	case "ac3tw":
+		trent := core.NewTrent(w, *seed+1, 100*sim.Millisecond)
+		r, err := core.NewTW(w, core.TWConfig{
+			Graph:        g,
+			Participants: ps,
+			Initiator:    ps[0],
+			Trent:        trent,
+			ConfirmDepth: 3,
+		})
+		fatal(err)
+		r.Start()
+		w.RunUntil(2 * sim.Hour)
+		w.StopMining()
+		w.RunFor(sim.Minute)
+		for _, ev := range r.Events {
+			fmt.Printf("t=%8.1fs  %s\n", float64(ev.At)/1000, label(ev.Label, ev.Edge))
+		}
+		report(r.Grade())
+	case "htlc":
+		r, err := swap.New(w, swap.Config{
+			Graph:        g,
+			Participants: ps,
+			Leader:       ps[0],
+			Delta:        60 * sim.Second,
+			ConfirmDepth: 3,
+		})
+		fatal(err)
+		r.Start()
+		if *crash {
+			armCrash(w, victim, func() bool {
+				for _, ev := range r.Events {
+					if ev.Label == "redeem submitted" {
+						return true
+					}
+				}
+				return false
+			})
+		}
+		w.RunUntil(3 * sim.Hour)
+		if *crash && *recoverVictim {
+			fmt.Printf("--- recovering %s (too late: timelocks expired) ---\n", victim.Name)
+			victim.Recover()
+			w.RunUntil(w.Sim.Now() + time1h)
+		}
+		w.StopMining()
+		w.RunFor(sim.Minute)
+		for _, ev := range r.Events {
+			fmt.Printf("t=%8.1fs  %s\n", float64(ev.At)/1000, label(ev.Label, ev.Edge))
+		}
+		report(r.Grade())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+}
+
+const time1h = 1 * sim.Hour
+
+func armCrash(w *xchain.World, victim *xchain.Participant, cond func() bool) {
+	w.Sim.Poll(100*sim.Millisecond, func() bool {
+		if cond() {
+			fmt.Printf("--- crashing %s ---\n", victim.Name)
+			victim.Crash()
+			return true
+		}
+		return false
+	})
+}
+
+func label(s string, edge int) string {
+	if edge >= 0 {
+		return fmt.Sprintf("[edge %d] %s", edge, s)
+	}
+	return s
+}
+
+func report(out *xchain.Outcome) {
+	fmt.Println()
+	fmt.Printf("outcome: committed=%v aborted=%v ATOMICITY-VIOLATED=%v\n",
+		out.Committed(), out.Aborted(), out.AtomicityViolated())
+	for i, e := range out.Edges {
+		fmt.Printf("  edge %d (%d on %s): deployed=%v state=%s\n",
+			i, e.Edge.Asset, e.Edge.Chain, e.Deployed, e.State)
+	}
+	fmt.Printf("latency: %.1f virtual minutes, %d deploys + %d calls on-chain\n",
+		float64(out.Latency())/60000, out.Deploys, out.Calls)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "Atomic
+// Commitment Across Blockchains" (Zakhary, Agrawal, El Abbadi — VLDB
+// 2020): the AC3WN protocol, its AC3TW centralized-witness strawman,
+// the Nolan/Herlihy HTLC baselines, and the simulated permissionless
+// blockchain substrate they all run on.
+//
+// The public surface is organized under internal/ (this module is a
+// self-contained research artifact; the examples/ and cmd/ trees show
+// every intended entry point):
+//
+//   - internal/sim — deterministic discrete-event simulator
+//   - internal/crypto, internal/merkle — hashing, signatures, ms(D),
+//     commitment schemes, Merkle proofs
+//   - internal/chain, internal/vm, internal/miner, internal/p2p —
+//     PoW blockchains with a UTXO ledger, smart contracts, miners,
+//     gossip, forks and reorgs
+//   - internal/spv — cross-chain evidence (Section 4.3)
+//   - internal/graph — AC2T graphs D = (V, E), Diam(D), ms(D)
+//   - internal/contracts — Algorithms 1–4 as contract objects
+//   - internal/swap — Nolan/Herlihy baselines
+//   - internal/core — AC3WN and AC3TW
+//   - internal/fees, internal/attack — Sections 6.2 and 6.3 analyses
+//   - internal/bench — one driver per table/figure of the evaluation
+//
+// The benchmarks in bench_test.go regenerate every table and figure;
+// see EXPERIMENTS.md for measured-vs-paper results and DESIGN.md for
+// the system inventory.
+package repro

@@ -1,0 +1,163 @@
+// Package bench drives the reproduction of every table and figure in
+// the paper's evaluation (Section 6) plus the safety and scalability
+// claims of Sections 1 and 5. Each experiment builds fresh simulated
+// blockchain networks, runs the real protocol implementations
+// (internal/swap baselines, internal/core AC3WN/AC3TW), measures, and
+// renders paper-style output. cmd/ac3bench and the repository-root
+// benchmarks are thin wrappers around this package.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/xchain"
+)
+
+// Result is one experiment's printable outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Output string
+	// OK reports whether the experiment's sanity assertions held
+	// (e.g. "AC3WN latency flat", "baseline violates atomicity").
+	OK bool
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	status := "ok"
+	if !r.OK {
+		status = "FAILED"
+	}
+	return fmt.Sprintf("== %s: %s [%s]\n%s", r.ID, r.Title, status, r.Output)
+}
+
+// Experiment parameters shared across runs. Block interval 10s,
+// confirmation depth 3: Δ = (depth+1)·interval = 40s of virtual time.
+const (
+	blockInterval = 10 * sim.Second
+	confirmDepth  = 3
+	deltaNominal  = sim.Time(confirmDepth+1) * blockInterval
+)
+
+// spec builds the standard chain spec used by latency experiments.
+func spec(id chain.ID) xchain.ChainSpec {
+	s := xchain.DefaultChainSpec(id)
+	s.Params.BlockInterval = blockInterval
+	s.Params.ConfirmDepth = confirmDepth
+	s.Miners = 3
+	s.Latency = p2p.LatencyModel{Base: 100, Jitter: 200}
+	return s
+}
+
+// ringWorld builds an n-party ring AC2T over two asset chains plus a
+// witness chain: participant i pays participant i+1 on chain c(i%2).
+// Rings have Diam(D) = n, making them the Figure 10 workload.
+func ringWorld(seed uint64, n int) (*xchain.World, *graph.Graph, []*xchain.Participant, error) {
+	b := xchain.NewBuilder(seed)
+	ps := make([]*xchain.Participant, n)
+	for i := range ps {
+		ps[i] = b.Participant(fmt.Sprintf("p%d", i))
+	}
+	assetChains := []chain.ID{"asset-a", "asset-b"}
+	for _, id := range assetChains {
+		b.Chain(spec(id))
+	}
+	b.Chain(spec("witness"))
+	edges := make([]graph.Edge, n)
+	for i := range ps {
+		id := assetChains[i%2]
+		b.Fund(ps[i], id, 1_000_000)
+		edges[i] = graph.Edge{From: ps[i].Addr(), To: ps[(i+1)%n].Addr(), Asset: 10_000, Chain: id}
+	}
+	w, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, err := graph.New(int64(seed), edges...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return w, g, ps, nil
+}
+
+// runHerlihy executes the baseline on the given world/graph and
+// returns the outcome (nil on failure to even start).
+func runHerlihy(w *xchain.World, g *graph.Graph, ps []*xchain.Participant, deadline sim.Time) (*swap.Run, *xchain.Outcome, error) {
+	r, err := swap.New(w, swap.Config{
+		Graph:        g,
+		Participants: ps,
+		Leader:       ps[0],
+		Delta:        deltaNominal + 2*blockInterval, // two blocks of slack
+		ConfirmDepth: confirmDepth,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Start()
+	w.RunUntil(deadline)
+	w.StopMining()
+	w.RunFor(sim.Minute)
+	return r, r.Grade(), nil
+}
+
+// runAC3WN executes the contribution on the given world/graph.
+func runAC3WN(w *xchain.World, g *graph.Graph, ps []*xchain.Participant, witness chain.ID, deadline sim.Time) (*core.Run, *xchain.Outcome, error) {
+	r, err := core.New(w, core.Config{
+		Graph:        g,
+		Participants: ps,
+		Initiator:    ps[0],
+		WitnessChain: witness,
+		WitnessDepth: confirmDepth,
+		AssetDepth:   confirmDepth,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Start()
+	w.RunUntil(deadline)
+	w.StopMining()
+	w.RunFor(sim.Minute)
+	return r, r.Grade(), nil
+}
+
+// inDeltas converts a virtual duration to Δ units.
+func inDeltas(d sim.Time) float64 { return float64(d) / float64(deltaNominal) }
+
+// section joins blocks of output.
+func section(parts ...string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+		if !strings.HasSuffix(p, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// All runs every experiment in paper order.
+func All(seed uint64) []*Result {
+	return []*Result{
+		Fig8(seed),
+		Fig9(seed),
+		Fig10(seed, 8),
+		Cost(seed),
+		WitnessChoice(seed),
+		Table1(seed),
+		Atomicity(seed, 5),
+		Complex(seed),
+		Scale(seed),
+	}
+}
+
+// metricsFigure is re-exported for cmd wiring convenience.
+type metricsFigure = metrics.Figure

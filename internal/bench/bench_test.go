@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are exercised end to end: each must run its
+// real protocol workloads and hold its sanity assertions (OK). These
+// are the same entry points cmd/ac3bench and the root benchmarks use.
+
+func TestFig8(t *testing.T) {
+	r := Fig8(42)
+	if !r.OK {
+		t.Fatalf("fig8 failed:\n%s", r)
+	}
+	if !strings.Contains(r.Output, "SC5") || !strings.Contains(r.Output, "Δ") {
+		t.Fatalf("fig8 output incomplete:\n%s", r.Output)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	r := Fig9(42)
+	if !r.OK {
+		t.Fatalf("fig9 failed:\n%s", r)
+	}
+	if !strings.Contains(r.Output, "PARALLEL") {
+		t.Fatalf("fig9 output incomplete:\n%s", r.Output)
+	}
+}
+
+func TestFig10SmallSweep(t *testing.T) {
+	r := Fig10(42, 5)
+	if !r.OK {
+		t.Fatalf("fig10 failed:\n%s", r)
+	}
+	if !strings.Contains(r.Output, "Herlihy measured") || !strings.Contains(r.Output, "AC3WN measured") {
+		t.Fatalf("fig10 output incomplete:\n%s", r.Output)
+	}
+}
+
+func TestCost(t *testing.T) {
+	r := Cost(42)
+	if !r.OK {
+		t.Fatalf("cost failed:\n%s", r)
+	}
+	for _, want := range []string{"3d+3c", "1/2 = 0.5", "measured", "analytic"} {
+		if !strings.Contains(r.Output, want) {
+			t.Fatalf("cost output missing %q:\n%s", want, r.Output)
+		}
+	}
+}
+
+func TestWitnessChoice(t *testing.T) {
+	r := WitnessChoice(42)
+	if !r.OK {
+		t.Fatalf("witness failed:\n%s", r)
+	}
+	if !strings.Contains(r.Output, "21") { // the paper's d > 20 example
+		t.Fatalf("witness output missing the paper example:\n%s", r.Output)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1(42)
+	if !r.OK {
+		t.Fatalf("table1 failed:\n%s", r)
+	}
+	for _, want := range []string{"Bitcoin", "Ethereum", "Litecoin", "Bitcoin Cash", "min("} {
+		if !strings.Contains(r.Output, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, r.Output)
+		}
+	}
+}
+
+func TestAtomicityQuick(t *testing.T) {
+	r := Atomicity(42, 2)
+	if !r.OK {
+		t.Fatalf("atomicity failed:\n%s", r)
+	}
+	if !strings.Contains(r.Output, "VIOLATIONS") {
+		t.Fatalf("atomicity output incomplete:\n%s", r.Output)
+	}
+}
+
+func TestComplex(t *testing.T) {
+	r := Complex(42)
+	if !r.OK {
+		t.Fatalf("complex failed:\n%s", r)
+	}
+	if !strings.Contains(r.Output, "committed atomically") {
+		t.Fatalf("complex output incomplete:\n%s", r.Output)
+	}
+}
+
+func TestScale(t *testing.T) {
+	r := Scale(42)
+	if !r.OK {
+		t.Fatalf("scale failed:\n%s", r)
+	}
+	if !strings.Contains(r.Output, "AC2T/hour") {
+		t.Fatalf("scale output incomplete:\n%s", r.Output)
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fees"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Cost reproduces Section 6.2's cost analysis: per-AC2T fees for
+// Herlihy (N·(fd+ffc)) versus AC3WN ((N+1)·(fd+ffc)), with the
+// overhead 1/N, at the paper's two ETH/USD reference rates. For small
+// N the operation counts are *measured* from real protocol runs (the
+// on-chain transactions the participants actually paid for); larger N
+// rows are analytic.
+func Cost(seed uint64) *Result {
+	t := metrics.NewTable("Section 6.2 — AC2T fee comparison",
+		"N (contracts)", "Herlihy ops", "AC3WN ops", "Herlihy $ @300", "AC3WN $ @300",
+		"Herlihy $ @140", "AC3WN $ @140", "overhead", "source")
+
+	ok := true
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		hD, hC := n, n
+		aD, aC := n+1, n+1
+		source := "analytic"
+		if n <= 8 {
+			// Measure from real runs on an n-ring.
+			source = "measured"
+			wH, gH, psH, err := ringWorld(seed+uint64(n), n)
+			if err != nil {
+				return &Result{ID: "cost", Title: "fees", Output: err.Error()}
+			}
+			_, outH, err := runHerlihy(wH, gH, psH, sim.Time(n+4)*sim.Hour)
+			if err != nil || !outH.Committed() {
+				ok = false
+			} else {
+				hD, hC = outH.Deploys, outH.Calls
+			}
+			wW, gW, psW, err := ringWorld(seed+uint64(n)*7, n)
+			if err != nil {
+				return &Result{ID: "cost", Title: "fees", Output: err.Error()}
+			}
+			_, outW, err := runAC3WN(wW, gW, psW, "witness", 2*sim.Hour)
+			if err != nil || !outW.Committed() {
+				ok = false
+			} else {
+				aD, aC = outW.Deploys, outW.Calls
+			}
+			// The measured counts must equal the paper's formula.
+			if hD != n || hC != n || aD != n+1 || aC != n+1 {
+				ok = false
+			}
+		}
+		h300 := fees.MeasuredCost(fees.ScheduleETH300, "Herlihy", hD, hC)
+		a300 := fees.MeasuredCost(fees.ScheduleETH300, "AC3WN", aD, aC)
+		h140 := fees.MeasuredCost(fees.ScheduleETH140, "Herlihy", hD, hC)
+		a140 := fees.MeasuredCost(fees.ScheduleETH140, "AC3WN", aD, aC)
+		t.AddRow(n,
+			fmt.Sprintf("%dd+%dc", hD, hC),
+			fmt.Sprintf("%dd+%dc", aD, aC),
+			fmt.Sprintf("$%.0f", h300.USD), fmt.Sprintf("$%.0f", a300.USD),
+			fmt.Sprintf("$%.0f", h140.USD), fmt.Sprintf("$%.0f", a140.USD),
+			fmt.Sprintf("1/%d = %.3f", n, fees.Overhead(n)),
+			source)
+	}
+	t.Note("AC3WN pays for one extra contract (SCw) and one extra call (the state change): overhead 1/N of the baseline fee")
+	t.Note("fd = ffc ≈ $4 at $300/ETH and ≈ $2 at $140/ETH (Ryan [27], as cited in Section 6.2)")
+	return &Result{
+		ID:     "cost",
+		Title:  "per-AC2T fees: N·(fd+ffc) vs (N+1)·(fd+ffc)",
+		Output: t.String(),
+		OK:     ok,
+	}
+}

@@ -1,0 +1,299 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/vm"
+)
+
+// Validation errors, distinguishable by callers (miners drop
+// ErrTxInvalid transactions from the mempool; invalid *blocks* are
+// rejected outright).
+var (
+	ErrTxInvalid    = errors.New("chain: invalid transaction")
+	ErrBlockInvalid = errors.New("chain: invalid block")
+)
+
+func txErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTxInvalid, fmt.Sprintf(format, args...))
+}
+
+func blockErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBlockInvalid, fmt.Sprintf(format, args...))
+}
+
+// ApplyTx validates tx against st and, if valid, mutates st with its
+// effects. st must be the overlay layer being built for the current
+// block. height/time describe that block. The registry instantiates
+// deployed contracts.
+//
+// The miner-side rule of Section 2.3 is enforced here: signatures must
+// be by the owner of every input, double spends are rejected, and
+// value is conserved (inputs = outputs + locked value; genesis and
+// coinbase mint by construction).
+func ApplyTx(st *State, reg *vm.Registry, chainID ID, height uint64, blockTime int64, tx *Tx) error {
+	switch tx.Kind {
+	case TxGenesis:
+		if height != 0 {
+			return txErr("genesis tx at height %d", height)
+		}
+		return applyMint(st, tx)
+	case TxCoinbase:
+		if height == 0 {
+			return txErr("coinbase in genesis block")
+		}
+		if len(tx.Ins) != 0 {
+			return txErr("coinbase with inputs")
+		}
+		return applyMint(st, tx)
+	case TxTransfer:
+		return applyTransfer(st, tx)
+	case TxDeploy:
+		return applyDeploy(st, reg, chainID, height, blockTime, tx)
+	case TxCall:
+		return applyCall(st, chainID, height, blockTime, tx)
+	default:
+		return txErr("unknown kind %v", tx.Kind)
+	}
+}
+
+// applyMint credits tx.Outs without consuming inputs (genesis and
+// coinbase only).
+func applyMint(st *State, tx *Tx) error {
+	if len(tx.Outs) == 0 {
+		return txErr("mint with no outputs")
+	}
+	id := tx.ID()
+	for i, out := range tx.Outs {
+		if out.Owner.IsZero() {
+			return txErr("mint output %d to zero address", i)
+		}
+		st.AddUTXO(OutPoint{TxID: id, Index: uint32(i)}, out)
+	}
+	return nil
+}
+
+// consumeInputs validates and spends tx.Ins, returning their total
+// value. Every input must exist, be unspent, and be owned by the
+// transaction's signer.
+func consumeInputs(st *State, tx *Tx) (vm.Amount, error) {
+	if len(tx.Ins) == 0 {
+		return 0, nil
+	}
+	if !tx.Sig.Verify(tx.SigHash().Bytes()) {
+		return 0, txErr("bad signature")
+	}
+	signer := tx.Sig.Signer()
+	var total vm.Amount
+	seen := make(map[OutPoint]bool, len(tx.Ins))
+	for _, in := range tx.Ins {
+		if seen[in.Prev] {
+			return 0, txErr("duplicate input %s", in.Prev)
+		}
+		seen[in.Prev] = true
+		out, ok := st.UTXO(in.Prev)
+		if !ok {
+			return 0, txErr("input %s missing or spent", in.Prev)
+		}
+		if out.Owner != signer {
+			return 0, txErr("input %s owned by %s, signed by %s", in.Prev, out.Owner, signer)
+		}
+		total += out.Value
+	}
+	for _, in := range tx.Ins {
+		st.Spend(in.Prev)
+	}
+	return total, nil
+}
+
+// creditOutputs adds tx.Outs as new UTXOs.
+func creditOutputs(st *State, tx *Tx) (vm.Amount, error) {
+	id := tx.ID()
+	var total vm.Amount
+	for i, out := range tx.Outs {
+		if out.Owner.IsZero() {
+			return 0, txErr("output %d to zero address", i)
+		}
+		if out.Value == 0 {
+			return 0, txErr("output %d has zero value", i)
+		}
+		st.AddUTXO(OutPoint{TxID: id, Index: uint32(i)}, out)
+		total += out.Value
+	}
+	return total, nil
+}
+
+func applyTransfer(st *State, tx *Tx) error {
+	if len(tx.Ins) == 0 || len(tx.Outs) == 0 {
+		return txErr("transfer needs inputs and outputs")
+	}
+	if tx.Value != 0 || tx.ContractType != "" || tx.Fn != "" {
+		return txErr("transfer carries contract fields")
+	}
+	in, err := consumeInputs(st, tx)
+	if err != nil {
+		return err
+	}
+	out, err := creditOutputs(st, tx)
+	if err != nil {
+		return err
+	}
+	if in != out {
+		return txErr("value not conserved: in=%d out=%d", in, out)
+	}
+	return nil
+}
+
+func applyDeploy(st *State, reg *vm.Registry, chainID ID, height uint64, blockTime int64, tx *Tx) error {
+	if tx.ContractType == "" {
+		return txErr("deploy without contract type")
+	}
+	if len(tx.Sig.Sig) == 0 {
+		return txErr("unsigned deploy")
+	}
+	// Deployments without inputs still need a valid signature to
+	// establish msg.sender (the contract's owner).
+	if len(tx.Ins) == 0 && !tx.Sig.Verify(tx.SigHash().Bytes()) {
+		return txErr("bad signature")
+	}
+	in, err := consumeInputs(st, tx)
+	if err != nil {
+		return err
+	}
+	change, err := creditOutputs(st, tx)
+	if err != nil {
+		return err
+	}
+	if in != change+tx.Value {
+		return txErr("deploy value not conserved: in=%d change=%d locked=%d", in, change, tx.Value)
+	}
+	if tx.Value > 0 && len(tx.Ins) == 0 {
+		return txErr("deploy locks value without inputs")
+	}
+	addr := tx.ContractAddr()
+	if _, exists := st.Contract(addr); exists {
+		return txErr("contract %s already deployed", addr)
+	}
+	c, err := reg.New(tx.ContractType)
+	if err != nil {
+		return txErr("deploy: %v", err)
+	}
+	msg := vm.Msg{Sender: tx.Sig.Signer(), Value: tx.Value}
+	ctx := vm.NewCtx(string(chainID), addr, height, blockTime, msg, tx.Value)
+	if err := c.Init(ctx, tx.Params); err != nil {
+		return txErr("constructor of %s failed: %v", tx.ContractType, err)
+	}
+	if err := settlePayouts(st, ctx, tx.ID()); err != nil {
+		return err
+	}
+	st.PutContract(addr, c)
+	st.SetBalance(addr, ctx.Balance())
+	return nil
+}
+
+func applyCall(st *State, chainID ID, height uint64, blockTime int64, tx *Tx) error {
+	if tx.Fn == "" {
+		return txErr("call without function name")
+	}
+	if len(tx.Sig.Sig) == 0 {
+		return txErr("unsigned call")
+	}
+	// Calls without inputs still need a valid signature to establish
+	// msg.sender.
+	if len(tx.Ins) == 0 && !tx.Sig.Verify(tx.SigHash().Bytes()) {
+		return txErr("bad signature")
+	}
+	in, err := consumeInputs(st, tx)
+	if err != nil {
+		return err
+	}
+	change, err := creditOutputs(st, tx)
+	if err != nil {
+		return err
+	}
+	if in != change+tx.Value {
+		return txErr("call value not conserved: in=%d change=%d sent=%d", in, change, tx.Value)
+	}
+	c, ok := st.ContractForWrite(tx.Contract)
+	if !ok {
+		return txErr("no contract at %s", tx.Contract)
+	}
+	balance := st.Balance(tx.Contract) + tx.Value
+	msg := vm.Msg{Sender: tx.Sig.Signer(), Value: tx.Value}
+	ctx := vm.NewCtx(string(chainID), tx.Contract, height, blockTime, msg, balance)
+	if err := c.Call(ctx, tx.Fn, tx.Args); err != nil {
+		return txErr("call %s.%s failed: %v", tx.Contract, tx.Fn, err)
+	}
+	if err := settlePayouts(st, ctx, tx.ID()); err != nil {
+		return err
+	}
+	st.SetBalance(tx.Contract, ctx.Balance())
+	return nil
+}
+
+// settlePayouts materializes contract payouts as UTXOs owned by the
+// recipients, indexed after the transaction's own outputs so the two
+// ranges never collide.
+func settlePayouts(st *State, ctx *vm.Ctx, txID crypto.Hash) error {
+	base := uint32(1 << 16) // payout index space, disjoint from tx.Outs
+	for i, p := range ctx.Payouts() {
+		if p.Value == 0 {
+			continue
+		}
+		st.AddUTXO(OutPoint{TxID: txID, Index: base + uint32(i)}, TxOut{Value: p.Value, Owner: p.To})
+	}
+	return nil
+}
+
+// ApplyBlock validates the block against the parent state and returns
+// the child state. Any invalid transaction invalidates the whole
+// block — which is why on-chain inclusion of a contract call implies
+// the call succeeded (DESIGN.md decision 4).
+func ApplyBlock(parent *State, reg *vm.Registry, params Params, b *Block) (*State, error) {
+	if b.Header.ChainID != params.ID {
+		return nil, blockErr("chain id %q, want %q", b.Header.ChainID, params.ID)
+	}
+	if !b.Header.CheckPoW() {
+		return nil, blockErr("header fails proof of work")
+	}
+	if b.Header.Bits != uint8(params.DifficultyBits) {
+		return nil, blockErr("difficulty %d, want %d", b.Header.Bits, params.DifficultyBits)
+	}
+	if b.Header.TxRoot != TxRoot(b.Txs) {
+		return nil, blockErr("tx root mismatch")
+	}
+	maxTxs := params.MaxBlockTxs + 1 // + coinbase
+	if len(b.Txs) > maxTxs {
+		return nil, blockErr("%d txs exceed capacity %d", len(b.Txs), maxTxs)
+	}
+	if b.Header.Height > 0 {
+		if len(b.Txs) == 0 || b.Txs[0].Kind != TxCoinbase {
+			return nil, blockErr("first tx must be coinbase")
+		}
+		var reward vm.Amount
+		for _, o := range b.Txs[0].Outs {
+			reward += o.Value
+		}
+		if reward != params.BlockReward {
+			return nil, blockErr("coinbase mints %d, want %d", reward, params.BlockReward)
+		}
+	}
+	st := parent.Child()
+	seen := make(map[crypto.Hash]bool, len(b.Txs))
+	for i, tx := range b.Txs {
+		if i > 0 && tx.Kind == TxCoinbase {
+			return nil, blockErr("coinbase at index %d", i)
+		}
+		id := tx.ID()
+		if seen[id] {
+			return nil, blockErr("duplicate tx %s", id)
+		}
+		seen[id] = true
+		if err := ApplyTx(st, reg, params.ID, b.Header.Height, b.Header.Time, tx); err != nil {
+			return nil, fmt.Errorf("%w: tx %d (%s): %v", ErrBlockInvalid, i, tx.Kind, err)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,180 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/crypto"
+	"repro/internal/merkle"
+	"repro/internal/sim"
+)
+
+// Header is a block header: the portion of a block that light clients
+// download and that SPV evidence (Section 4.3) carries across chains.
+type Header struct {
+	ChainID ID
+	Parent  crypto.Hash
+	Height  uint64
+	Time    sim.Time
+	TxRoot  crypto.Hash // Merkle root over transaction ids
+	Bits    uint8       // required leading zero bits of the header hash
+	Nonce   uint64      // ground until Hash() satisfies Bits
+}
+
+// Encode serializes the header canonically.
+func (h *Header) Encode() []byte {
+	var buf bytes.Buffer
+	var u64 [8]byte
+	buf.WriteString(string(h.ChainID))
+	buf.WriteByte(0) // chain-id terminator
+	buf.Write(h.Parent[:])
+	binary.BigEndian.PutUint64(u64[:], h.Height)
+	buf.Write(u64[:])
+	binary.BigEndian.PutUint64(u64[:], uint64(h.Time))
+	buf.Write(u64[:])
+	buf.Write(h.TxRoot[:])
+	buf.WriteByte(h.Bits)
+	binary.BigEndian.PutUint64(u64[:], h.Nonce)
+	buf.Write(u64[:])
+	return buf.Bytes()
+}
+
+// DecodeHeader reverses Encode.
+func DecodeHeader(b []byte) (*Header, error) {
+	idx := bytes.IndexByte(b, 0)
+	if idx < 0 {
+		return nil, fmt.Errorf("chain: header missing chain-id terminator")
+	}
+	h := &Header{ChainID: ID(b[:idx])}
+	r := &byteReader{b: b, pos: idx + 1}
+	if err := r.hash(&h.Parent); err != nil {
+		return nil, err
+	}
+	v, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	h.Height = v
+	if v, err = r.u64(); err != nil {
+		return nil, err
+	}
+	h.Time = sim.Time(v)
+	if err := r.hash(&h.TxRoot); err != nil {
+		return nil, err
+	}
+	bitsB, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	h.Bits = bitsB
+	if h.Nonce, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("chain: %d trailing bytes after header", r.remaining())
+	}
+	return h, nil
+}
+
+// Hash returns the proof-of-work digest of the header.
+func (h *Header) Hash() crypto.Hash { return crypto.Sum(h.Encode()) }
+
+// leadingZeroBits counts the leading zero bits of a digest.
+func leadingZeroBits(h crypto.Hash) int {
+	n := 0
+	for _, b := range h {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		n += bits.LeadingZeros8(b)
+		break
+	}
+	return n
+}
+
+// CheckPoW reports whether the header hash meets its difficulty
+// target. This is the verification SPV evidence runs for every header
+// it carries ("the function ... verifies the proof of work of each
+// header", Section 4.3).
+func (h *Header) CheckPoW() bool {
+	return leadingZeroBits(h.Hash()) >= int(h.Bits)
+}
+
+// Seal grinds the nonce until the header meets its difficulty target.
+// The expected work is 2^Bits hash evaluations; simulation difficulty
+// is kept low so sealing is cheap while verification stays real.
+func (h *Header) Seal(start uint64) {
+	h.Nonce = start
+	for !h.CheckPoW() {
+		h.Nonce++
+	}
+}
+
+// Block is a full block: header plus ordered transactions.
+type Block struct {
+	Header *Header
+	Txs    []*Tx
+
+	hash    crypto.Hash // memoized header hash
+	hashSet bool
+}
+
+// NewBlock assembles a block and computes its transaction root. The
+// header is not sealed; call Header.Seal.
+func NewBlock(header Header, txs []*Tx) *Block {
+	header.TxRoot = TxRoot(txs)
+	return &Block{Header: &header, Txs: txs}
+}
+
+// TxRoot computes the Merkle root over the transactions' ids.
+func TxRoot(txs []*Tx) crypto.Hash {
+	leaves := make([]crypto.Hash, len(txs))
+	for i, tx := range txs {
+		id := tx.ID()
+		leaves[i] = merkle.LeafHash(id[:])
+	}
+	return merkle.Root(leaves)
+}
+
+// TxLeaves returns the Merkle leaves for the block's transactions,
+// used when constructing inclusion proofs for evidence.
+func (b *Block) TxLeaves() []crypto.Hash {
+	leaves := make([]crypto.Hash, len(b.Txs))
+	for i, tx := range b.Txs {
+		id := tx.ID()
+		leaves[i] = merkle.LeafHash(id[:])
+	}
+	return leaves
+}
+
+// Hash returns the block's (memoized) header hash.
+func (b *Block) Hash() crypto.Hash {
+	if !b.hashSet {
+		b.hash = b.Header.Hash()
+		b.hashSet = true
+	}
+	return b.hash
+}
+
+// FindTx returns the index of the transaction with the given id, or
+// -1.
+func (b *Block) FindTx(id crypto.Hash) int {
+	for i, tx := range b.Txs {
+		if tx.ID() == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// ProveTx builds a Merkle inclusion proof for the transaction at
+// index.
+func (b *Block) ProveTx(index int) (*merkle.Proof, error) {
+	if index < 0 || index >= len(b.Txs) {
+		return nil, fmt.Errorf("chain: tx index %d out of range", index)
+	}
+	return merkle.Prove(b.TxLeaves(), index)
+}

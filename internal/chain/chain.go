@@ -1,0 +1,391 @@
+package chain
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Chain is one node's view of a blockchain: the block tree it has
+// seen, per-block states, and the canonical (longest) chain choice.
+// Blocks are immutable and may be shared across views.
+type Chain struct {
+	params Params
+	reg    *vm.Registry
+
+	genesis   *Block
+	blocks    map[crypto.Hash]*Block
+	states    map[crypto.Hash]*State
+	tip       *Block
+	canonical map[uint64]crypto.Hash        // height -> canonical block hash
+	txIndex   map[crypto.Hash][]crypto.Hash // txid -> blocks containing it (any fork)
+
+	// Reorgs counts canonical-tip switches to a non-descendant block;
+	// the fork experiments read it.
+	Reorgs int
+}
+
+// GenesisAlloc maps addresses to initial balances minted in the
+// genesis block.
+type GenesisAlloc map[crypto.Address]vm.Amount
+
+// NewChain builds a view with a deterministic genesis block minting
+// alloc. Two NewChain calls with equal params and alloc produce the
+// identical genesis, so independently constructed views share one
+// chain identity.
+func NewChain(params Params, reg *vm.Registry, alloc GenesisAlloc) (*Chain, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = vm.NewRegistry()
+	}
+	gtx := genesisTx(alloc)
+	genesis := NewBlock(Header{
+		ChainID: params.ID,
+		Parent:  crypto.ZeroHash,
+		Height:  0,
+		Time:    0,
+		Bits:    uint8(params.DifficultyBits),
+	}, []*Tx{gtx})
+	genesis.Header.Seal(0)
+
+	st, err := ApplyBlock(NewState(), reg, params, genesis)
+	if err != nil {
+		return nil, fmt.Errorf("chain: genesis invalid: %w", err)
+	}
+	c := &Chain{
+		params:    params,
+		reg:       reg,
+		genesis:   genesis,
+		blocks:    map[crypto.Hash]*Block{genesis.Hash(): genesis},
+		states:    map[crypto.Hash]*State{genesis.Hash(): st},
+		tip:       genesis,
+		canonical: map[uint64]crypto.Hash{0: genesis.Hash()},
+		txIndex:   map[crypto.Hash][]crypto.Hash{gtx.ID(): {genesis.Hash()}},
+	}
+	return c, nil
+}
+
+// genesisTx mints the initial allocation deterministically (sorted by
+// address so every node builds the same genesis).
+func genesisTx(alloc GenesisAlloc) *Tx {
+	addrs := make([]crypto.Address, 0, len(alloc))
+	for a := range alloc {
+		addrs = append(addrs, a)
+	}
+	// Sort addresses for determinism.
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && lessAddr(addrs[j], addrs[j-1]); j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+		}
+	}
+	tx := &Tx{Kind: TxGenesis}
+	for _, a := range addrs {
+		tx.Outs = append(tx.Outs, TxOut{Value: alloc[a], Owner: a})
+	}
+	if len(tx.Outs) == 0 {
+		// A chain can start with no pre-mine; coinbases mint later.
+		// Keep one burnable dust output to a sentinel so the genesis
+		// tx is well-formed.
+		var sentinel crypto.Address
+		sentinel[0] = 1
+		tx.Outs = append(tx.Outs, TxOut{Value: 1, Owner: sentinel})
+	}
+	return tx
+}
+
+func lessAddr(a, b crypto.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Params returns the chain's configuration.
+func (c *Chain) Params() Params { return c.params }
+
+// Registry returns the contract registry.
+func (c *Chain) Registry() *vm.Registry { return c.reg }
+
+// Genesis returns the genesis block.
+func (c *Chain) Genesis() *Block { return c.genesis }
+
+// Tip returns the canonical head block.
+func (c *Chain) Tip() *Block { return c.tip }
+
+// Height returns the canonical head height.
+func (c *Chain) Height() uint64 { return c.tip.Header.Height }
+
+// Block returns a block by hash from any fork.
+func (c *Chain) Block(h crypto.Hash) (*Block, bool) {
+	b, ok := c.blocks[h]
+	return b, ok
+}
+
+// HasBlock reports whether the view already contains h.
+func (c *Chain) HasBlock(h crypto.Hash) bool {
+	_, ok := c.blocks[h]
+	return ok
+}
+
+// CanonicalAt returns the canonical block at the given height.
+func (c *Chain) CanonicalAt(height uint64) (*Block, bool) {
+	h, ok := c.canonical[height]
+	if !ok {
+		return nil, false
+	}
+	return c.blocks[h], true
+}
+
+// IsCanonical reports whether the block with hash h is on the
+// canonical chain.
+func (c *Chain) IsCanonical(h crypto.Hash) bool {
+	b, ok := c.blocks[h]
+	if !ok {
+		return false
+	}
+	return c.canonical[b.Header.Height] == h
+}
+
+// DepthOf returns how many blocks are mined on top of block h on the
+// canonical chain (0 for the tip). The second result is false when h
+// is unknown or not canonical — a block on an abandoned fork has no
+// depth, which is exactly why participants wait for depth d before
+// trusting SCw state changes.
+func (c *Chain) DepthOf(h crypto.Hash) (int, bool) {
+	if !c.IsCanonical(h) {
+		return 0, false
+	}
+	return int(c.tip.Header.Height - c.blocks[h].Header.Height), true
+}
+
+// StateAt returns the ledger state after the block with hash h.
+func (c *Chain) StateAt(h crypto.Hash) (*State, bool) {
+	st, ok := c.states[h]
+	return st, ok
+}
+
+// TipState returns the state at the canonical tip.
+func (c *Chain) TipState() *State { return c.states[c.tip.Hash()] }
+
+// StateAtDepth returns the state of the canonical block buried depth
+// blocks under the tip (depth 0 = tip). It is how clients read
+// "stable" contract state.
+func (c *Chain) StateAtDepth(depth int) (*State, bool) {
+	if depth < 0 || uint64(depth) > c.tip.Header.Height {
+		return nil, false
+	}
+	b, ok := c.CanonicalAt(c.tip.Header.Height - uint64(depth))
+	if !ok {
+		return nil, false
+	}
+	return c.StateAt(b.Hash())
+}
+
+// AddBlock validates b against its parent and adds it to the view,
+// switching tips when b extends a strictly longer chain (first-seen
+// wins ties, as Section 2.1 describes miners accepting the first
+// received block). It returns whether the canonical tip changed.
+func (c *Chain) AddBlock(b *Block) (reorged bool, err error) {
+	h := b.Hash()
+	if c.HasBlock(h) {
+		return false, nil
+	}
+	parent, ok := c.blocks[b.Header.Parent]
+	if !ok {
+		return false, blockErr("unknown parent %s", b.Header.Parent)
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return false, blockErr("height %d after parent height %d", b.Header.Height, parent.Header.Height)
+	}
+	if b.Header.Time < parent.Header.Time {
+		return false, blockErr("time goes backwards")
+	}
+	parentState := c.states[b.Header.Parent]
+	st, err := ApplyBlock(parentState, c.reg, c.params, b)
+	if err != nil {
+		return false, err
+	}
+	c.blocks[h] = b
+	c.states[h] = st
+	for _, tx := range b.Txs {
+		id := tx.ID()
+		c.txIndex[id] = append(c.txIndex[id], h)
+	}
+	if b.Header.Height > c.tip.Header.Height {
+		c.setTip(b)
+		return true, nil
+	}
+	return false, nil
+}
+
+// setTip switches the canonical chain to end at b, rebuilding the
+// canonical index along the changed suffix.
+func (c *Chain) setTip(b *Block) {
+	if b.Header.Parent != c.tip.Hash() {
+		// Not a simple extension: count it as a reorg if the old tip
+		// is abandoned.
+		if !c.isAncestor(c.tip, b) {
+			c.Reorgs++
+		}
+	}
+	c.tip = b
+	for cur := b; ; {
+		h := cur.Hash()
+		if c.canonical[cur.Header.Height] == h {
+			break
+		}
+		c.canonical[cur.Header.Height] = h
+		if cur.Header.Height == 0 {
+			break
+		}
+		cur = c.blocks[cur.Header.Parent]
+	}
+	// Drop canonical entries above the new tip (after a reorg to a
+	// shorter-but-heavier chain; cannot happen with pure longest-chain
+	// but kept for safety).
+	for hgt := b.Header.Height + 1; ; hgt++ {
+		if _, ok := c.canonical[hgt]; !ok {
+			break
+		}
+		delete(c.canonical, hgt)
+	}
+}
+
+// isAncestor reports whether a is an ancestor of (or equal to) b.
+func (c *Chain) isAncestor(a, b *Block) bool {
+	target := a.Hash()
+	for cur := b; cur != nil; {
+		if cur.Hash() == target {
+			return true
+		}
+		if cur.Header.Height == 0 {
+			return false
+		}
+		cur = c.blocks[cur.Header.Parent]
+	}
+	return false
+}
+
+// FindTx locates a transaction on the canonical chain, returning its
+// block and index within it.
+func (c *Chain) FindTx(id crypto.Hash) (*Block, int, bool) {
+	for _, bh := range c.txIndex[id] {
+		if c.IsCanonical(bh) {
+			b := c.blocks[bh]
+			if i := b.FindTx(id); i >= 0 {
+				return b, i, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// TxDepth returns the canonical-chain depth of the block containing
+// tx id, or false if the transaction is not on the canonical chain.
+func (c *Chain) TxDepth(id crypto.Hash) (int, bool) {
+	b, _, ok := c.FindTx(id)
+	if !ok {
+		return 0, false
+	}
+	return c.DepthOf(b.Hash())
+}
+
+// ContractAtDepth reads a contract's state as of the canonical block
+// at the given depth. Use depth 0 for the tip.
+func (c *Chain) ContractAtDepth(addr crypto.Address, depth int) (vm.Contract, bool) {
+	st, ok := c.StateAtDepth(depth)
+	if !ok {
+		return nil, false
+	}
+	return st.Contract(addr)
+}
+
+// HeadersFrom returns the canonical headers from (exclusive) the block
+// with the given hash up to the tip, oldest first. It is what a
+// participant submits as SPV evidence.
+func (c *Chain) HeadersFrom(ancestor crypto.Hash) ([]*Header, bool) {
+	b, ok := c.blocks[ancestor]
+	if !ok || !c.IsCanonical(ancestor) {
+		return nil, false
+	}
+	var out []*Header
+	for hgt := b.Header.Height + 1; hgt <= c.tip.Header.Height; hgt++ {
+		cb, ok := c.CanonicalAt(hgt)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, cb.Header)
+	}
+	return out, true
+}
+
+// BuildBlock assembles a block extending the canonical tip with as
+// many valid mempool transactions as fit (the header is left
+// unsealed; the miner grinds it). invalid lists transactions that
+// failed validation while capacity remained — candidates for the
+// miner to purge; transactions merely skipped for capacity are not
+// reported and should stay in the mempool. time is the miner's
+// current virtual time.
+func (c *Chain) BuildBlock(miner crypto.Address, time sim.Time, mempool []*Tx) (b *Block, invalid []*Tx) {
+	parent := c.tip
+	if time < parent.Header.Time {
+		time = parent.Header.Time
+	}
+	st := c.states[parent.Hash()].Child()
+	height := parent.Header.Height + 1
+
+	coinbase := &Tx{
+		Kind:  TxCoinbase,
+		Nonce: height, // unique per height so coinbase ids differ
+		Outs:  []TxOut{{Value: c.params.BlockReward, Owner: miner}},
+	}
+	txs := []*Tx{coinbase}
+	if err := ApplyTx(st, c.reg, c.params.ID, height, time, coinbase); err != nil {
+		// Cannot happen with a well-formed coinbase; treat as fatal.
+		panic(fmt.Sprintf("chain: coinbase rejected: %v", err))
+	}
+	// Multiple passes let transactions that spend outputs of other
+	// pending transactions pack regardless of mempool order.
+	pending := mempool
+	capacity := c.params.MaxBlockTxs + 1 // + coinbase
+	for {
+		var failed []*Tx
+		progress, full := false, false
+		for _, tx := range pending {
+			if len(txs) >= capacity {
+				full = true
+				break
+			}
+			if err := ApplyTx(st, c.reg, c.params.ID, height, time, tx); err != nil {
+				failed = append(failed, tx)
+				continue
+			}
+			txs = append(txs, tx)
+			progress = true
+		}
+		if full {
+			// Nothing is purged when the block filled up: skipped
+			// transactions may simply be waiting for the next block.
+			break
+		}
+		if !progress || len(failed) == 0 {
+			invalid = failed
+			break
+		}
+		pending = failed
+	}
+	blk := NewBlock(Header{
+		ChainID: c.params.ID,
+		Parent:  parent.Hash(),
+		Height:  height,
+		Time:    time,
+		Bits:    uint8(c.params.DifficultyBits),
+	}, txs)
+	return blk, invalid
+}

@@ -1,0 +1,212 @@
+package chain
+
+import (
+	"repro/internal/crypto"
+	"repro/internal/vm"
+)
+
+// flattenDepth bounds the overlay-chain length before a state is
+// collapsed into a fresh base map. It trades copy cost against lookup
+// cost; the ablation benchmark BenchmarkStateOverlayFlatten sweeps it.
+const flattenDepth = 48
+
+// State is the ledger state after applying some block: the UTXO set,
+// deployed contract objects, and contract balances. States form a
+// copy-on-write overlay chain mirroring the block tree, so two forks
+// cheaply share their common prefix — the property that makes reorgs
+// (and therefore Lemma 5.3's fork analysis) natural to express.
+type State struct {
+	parent *State
+	depth  int
+
+	utxos     map[OutPoint]TxOut
+	spent     map[OutPoint]bool
+	contracts map[crypto.Address]vm.Contract
+	balances  map[crypto.Address]vm.Amount
+	hasBal    map[crypto.Address]bool
+}
+
+// NewState returns an empty base state.
+func NewState() *State {
+	return &State{
+		utxos:     make(map[OutPoint]TxOut),
+		spent:     make(map[OutPoint]bool),
+		contracts: make(map[crypto.Address]vm.Contract),
+		balances:  make(map[crypto.Address]vm.Amount),
+		hasBal:    make(map[crypto.Address]bool),
+	}
+}
+
+// Child returns a fresh overlay on top of s. When the overlay chain
+// grows past flattenDepth the child is a flattened deep copy instead,
+// bounding lookup cost.
+func (s *State) Child() *State {
+	if s.depth >= flattenDepth {
+		return s.flatten()
+	}
+	c := NewState()
+	c.parent = s
+	c.depth = s.depth + 1
+	return c
+}
+
+// flatten collapses the overlay chain into a single base state.
+func (s *State) flatten() *State {
+	out := NewState()
+	// Walk from the base up so newer overlays overwrite older entries.
+	var stack []*State
+	for cur := s; cur != nil; cur = cur.parent {
+		stack = append(stack, cur)
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		layer := stack[i]
+		for op, o := range layer.utxos {
+			out.utxos[op] = o
+			delete(out.spent, op)
+		}
+		for op := range layer.spent {
+			delete(out.utxos, op)
+			out.spent[op] = true
+		}
+		for a, c := range layer.contracts {
+			out.contracts[a] = c.Clone()
+		}
+		for a, b := range layer.balances {
+			out.balances[a] = b
+			out.hasBal[a] = true
+		}
+	}
+	// The flattened map needs no tombstones of its own.
+	out.spent = make(map[OutPoint]bool)
+	return out
+}
+
+// UTXO looks up an unspent output.
+func (s *State) UTXO(op OutPoint) (TxOut, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.spent[op] {
+			return TxOut{}, false
+		}
+		if o, ok := cur.utxos[op]; ok {
+			return o, true
+		}
+	}
+	return TxOut{}, false
+}
+
+// AddUTXO records a new unspent output.
+func (s *State) AddUTXO(op OutPoint, out TxOut) {
+	delete(s.spent, op)
+	s.utxos[op] = out
+}
+
+// Spend marks an output spent. The caller must have checked existence.
+func (s *State) Spend(op OutPoint) {
+	delete(s.utxos, op)
+	s.spent[op] = true
+}
+
+// Contract returns the live contract object at addr for *reading*.
+// Callers must not mutate the result; use ContractForWrite inside
+// block application.
+func (s *State) Contract(addr crypto.Address) (vm.Contract, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if c, ok := cur.contracts[addr]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// ContractForWrite returns a contract clone owned by this overlay
+// layer, creating the copy-on-write entry on first access.
+func (s *State) ContractForWrite(addr crypto.Address) (vm.Contract, bool) {
+	if c, ok := s.contracts[addr]; ok {
+		return c, true
+	}
+	c, ok := s.Contract(addr)
+	if !ok {
+		return nil, false
+	}
+	cl := c.Clone()
+	s.contracts[addr] = cl
+	return cl, true
+}
+
+// PutContract stores a freshly deployed contract.
+func (s *State) PutContract(addr crypto.Address, c vm.Contract) {
+	s.contracts[addr] = c
+}
+
+// Balance returns a contract's locked asset balance.
+func (s *State) Balance(addr crypto.Address) vm.Amount {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.hasBal[addr] {
+			return cur.balances[addr]
+		}
+	}
+	return 0
+}
+
+// SetBalance records a contract balance in this overlay layer.
+func (s *State) SetBalance(addr crypto.Address, v vm.Amount) {
+	s.balances[addr] = v
+	s.hasBal[addr] = true
+}
+
+// UTXOsOwnedBy scans the full state for outputs owned by addr. It is
+// a test/client convenience (wallets), not a consensus operation.
+func (s *State) UTXOsOwnedBy(addr crypto.Address) map[OutPoint]TxOut {
+	out := make(map[OutPoint]TxOut)
+	seen := make(map[OutPoint]bool)
+	for cur := s; cur != nil; cur = cur.parent {
+		for op := range cur.spent {
+			if !seen[op] {
+				seen[op] = true
+			}
+		}
+		for op, o := range cur.utxos {
+			if seen[op] {
+				continue
+			}
+			seen[op] = true
+			if o.Owner == addr {
+				out[op] = o
+			}
+		}
+	}
+	return out
+}
+
+// TotalValue sums every unspent output plus every contract balance —
+// the conserved quantity the property tests check (minting via
+// genesis/coinbase is accounted by the caller).
+func (s *State) TotalValue() vm.Amount {
+	var total vm.Amount
+	seen := make(map[OutPoint]bool)
+	seenBal := make(map[crypto.Address]bool)
+	for cur := s; cur != nil; cur = cur.parent {
+		for op := range cur.spent {
+			seen[op] = true
+		}
+		for op, o := range cur.utxos {
+			if seen[op] {
+				continue
+			}
+			seen[op] = true
+			total += o.Value
+		}
+		for a := range cur.balances {
+			if seenBal[a] {
+				continue
+			}
+			seenBal[a] = true
+			total += cur.balances[a]
+		}
+	}
+	return total
+}
+
+// OverlayDepth reports how many overlay layers sit above the base
+// state (exported for the flattening ablation benchmark).
+func (s *State) OverlayDepth() int { return s.depth }

@@ -1,0 +1,366 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/vm"
+)
+
+// TxKind discriminates the transaction flavours of Section 2.3.
+type TxKind byte
+
+// Transaction kinds.
+const (
+	// TxGenesis mints the initial asset allocation in the genesis
+	// block. Valid only at height 0.
+	TxGenesis TxKind = iota
+	// TxCoinbase mints the block reward to the miner; first tx of
+	// every non-genesis block.
+	TxCoinbase
+	// TxTransfer moves assets between identities, merging or
+	// splitting them (Figure 2).
+	TxTransfer
+	// TxDeploy publishes a smart contract, optionally locking assets
+	// in it (the deployment message of Section 2.3).
+	TxDeploy
+	// TxCall invokes a smart-contract function, optionally sending
+	// assets along.
+	TxCall
+)
+
+// String names the kind.
+func (k TxKind) String() string {
+	switch k {
+	case TxGenesis:
+		return "genesis"
+	case TxCoinbase:
+		return "coinbase"
+	case TxTransfer:
+		return "transfer"
+	case TxDeploy:
+		return "deploy"
+	case TxCall:
+		return "call"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// OutPoint identifies one transaction output.
+type OutPoint struct {
+	TxID  crypto.Hash
+	Index uint32
+}
+
+// String renders the outpoint.
+func (o OutPoint) String() string { return fmt.Sprintf("%s:%d", o.TxID, o.Index) }
+
+// TxOut is an asset owned by an identity.
+type TxOut struct {
+	Value vm.Amount
+	Owner crypto.Address
+}
+
+// TxIn spends a previous output. The transaction-level signature must
+// be by the owner of every input (miners validate that "end-users can
+// transact only on their own assets").
+type TxIn struct {
+	Prev OutPoint
+}
+
+// Tx is a transaction. Exactly which fields are meaningful depends on
+// Kind; Validate* in apply.go enforces the shape.
+type Tx struct {
+	Kind  TxKind
+	Nonce uint64 // distinguishes otherwise-identical transactions
+
+	Ins  []TxIn  // inputs (transfer, deploy, call-with-value)
+	Outs []TxOut // outputs (genesis, coinbase, transfer, change)
+
+	// Deploy fields.
+	ContractType string // registry type name
+	Params       []byte // encoded constructor parameters
+
+	// Call fields.
+	Contract crypto.Address // target contract
+	Fn       string         // function name
+	Args     []byte         // encoded arguments
+
+	// Value is the asset amount locked into the contract (deploy) or
+	// sent with the call (msg.val). Funded from Ins minus change Outs.
+	Value vm.Amount
+
+	// Sig signs SigHash(); its signer must own every input. Genesis
+	// and coinbase transactions are unsigned.
+	Sig crypto.Signature
+}
+
+// encodeBody writes the canonical signed portion of the transaction.
+func (tx *Tx) encodeBody(buf *bytes.Buffer) {
+	var u64 [8]byte
+	var u32 [4]byte
+	writeU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(u64[:], v)
+		buf.Write(u64[:])
+	}
+	writeU32 := func(v uint32) {
+		binary.BigEndian.PutUint32(u32[:], v)
+		buf.Write(u32[:])
+	}
+	writeBytes := func(b []byte) {
+		writeU32(uint32(len(b)))
+		buf.Write(b)
+	}
+
+	buf.WriteByte(byte(tx.Kind))
+	writeU64(tx.Nonce)
+	writeU32(uint32(len(tx.Ins)))
+	for _, in := range tx.Ins {
+		buf.Write(in.Prev.TxID[:])
+		writeU32(in.Prev.Index)
+	}
+	writeU32(uint32(len(tx.Outs)))
+	for _, out := range tx.Outs {
+		writeU64(out.Value)
+		buf.Write(out.Owner[:])
+	}
+	writeBytes([]byte(tx.ContractType))
+	writeBytes(tx.Params)
+	buf.Write(tx.Contract[:])
+	writeBytes([]byte(tx.Fn))
+	writeBytes(tx.Args)
+	writeU64(tx.Value)
+}
+
+// SigHash returns the digest the transaction signature covers.
+func (tx *Tx) SigHash() crypto.Hash {
+	var buf bytes.Buffer
+	tx.encodeBody(&buf)
+	return crypto.Sum(buf.Bytes())
+}
+
+// ID returns the transaction identifier. It covers the signed body
+// only; the Nonce field disambiguates intentional duplicates, and
+// signature malleability is irrelevant in this simulation.
+func (tx *Tx) ID() crypto.Hash { return tx.SigHash() }
+
+// Encode serializes the full transaction (body + signature) for
+// embedding in blocks and SPV evidence.
+func (tx *Tx) Encode() []byte {
+	var buf bytes.Buffer
+	tx.encodeBody(&buf)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(tx.Sig.Pub)))
+	buf.Write(u32[:])
+	buf.Write(tx.Sig.Pub)
+	binary.BigEndian.PutUint32(u32[:], uint32(len(tx.Sig.Sig)))
+	buf.Write(u32[:])
+	buf.Write(tx.Sig.Sig)
+	return buf.Bytes()
+}
+
+// DecodeTx reverses Encode.
+func DecodeTx(b []byte) (*Tx, error) {
+	r := &byteReader{b: b}
+	tx := &Tx{}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, fmt.Errorf("chain: decode tx kind: %w", err)
+	}
+	tx.Kind = TxKind(kind)
+	if tx.Nonce, err = r.u64(); err != nil {
+		return nil, fmt.Errorf("chain: decode tx nonce: %w", err)
+	}
+	nIns, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nIns > uint32(len(b)) {
+		return nil, fmt.Errorf("chain: implausible input count %d", nIns)
+	}
+	for i := uint32(0); i < nIns; i++ {
+		var in TxIn
+		if err := r.hash(&in.Prev.TxID); err != nil {
+			return nil, err
+		}
+		if in.Prev.Index, err = r.u32(); err != nil {
+			return nil, err
+		}
+		tx.Ins = append(tx.Ins, in)
+	}
+	nOuts, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nOuts > uint32(len(b)) {
+		return nil, fmt.Errorf("chain: implausible output count %d", nOuts)
+	}
+	for i := uint32(0); i < nOuts; i++ {
+		var out TxOut
+		if out.Value, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if err := r.addr(&out.Owner); err != nil {
+			return nil, err
+		}
+		tx.Outs = append(tx.Outs, out)
+	}
+	ct, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	tx.ContractType = string(ct)
+	if tx.Params, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	if err := r.addr(&tx.Contract); err != nil {
+		return nil, err
+	}
+	fn, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	tx.Fn = string(fn)
+	if tx.Args, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	if tx.Value, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if tx.Sig.Pub, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	if tx.Sig.Sig, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	if len(tx.Sig.Pub) == 0 {
+		tx.Sig.Pub = nil
+	}
+	if len(tx.Sig.Sig) == 0 {
+		tx.Sig.Sig = nil
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("chain: %d trailing bytes after tx", r.remaining())
+	}
+	return tx, nil
+}
+
+// byteReader is a bounds-checked cursor over an encoded buffer.
+type byteReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *byteReader) remaining() int { return len(r.b) - r.pos }
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("chain: truncated encoding (need %d, have %d)", n, r.remaining())
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *byteReader) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *byteReader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (r *byteReader) hash(h *crypto.Hash) error {
+	b, err := r.take(crypto.HashSize)
+	if err != nil {
+		return err
+	}
+	copy(h[:], b)
+	return nil
+}
+
+func (r *byteReader) addr(a *crypto.Address) error {
+	b, err := r.take(len(a))
+	if err != nil {
+		return err
+	}
+	copy(a[:], b)
+	return nil
+}
+
+// NewTransfer builds a signed transfer spending ins (owned by key)
+// into outs.
+func NewTransfer(key *crypto.KeyPair, nonce uint64, ins []TxIn, outs []TxOut) *Tx {
+	tx := &Tx{Kind: TxTransfer, Nonce: nonce, Ins: ins, Outs: outs}
+	tx.Sig = key.Sign(tx.SigHash().Bytes())
+	return tx
+}
+
+// NewDeploy builds a signed contract deployment locking value into a
+// new contract of the given registry type. change receives any excess
+// input value.
+func NewDeploy(key *crypto.KeyPair, nonce uint64, ins []TxIn, change []TxOut, contractType string, params []byte, value vm.Amount) *Tx {
+	tx := &Tx{
+		Kind:         TxDeploy,
+		Nonce:        nonce,
+		Ins:          ins,
+		Outs:         change,
+		ContractType: contractType,
+		Params:       params,
+		Value:        value,
+	}
+	tx.Sig = key.Sign(tx.SigHash().Bytes())
+	return tx
+}
+
+// NewCall builds a signed contract function call. ins/change fund
+// value when non-zero.
+func NewCall(key *crypto.KeyPair, nonce uint64, contract crypto.Address, fn string, args []byte, ins []TxIn, change []TxOut, value vm.Amount) *Tx {
+	tx := &Tx{
+		Kind:     TxCall,
+		Nonce:    nonce,
+		Ins:      ins,
+		Outs:     change,
+		Contract: contract,
+		Fn:       fn,
+		Args:     args,
+		Value:    value,
+	}
+	tx.Sig = key.Sign(tx.SigHash().Bytes())
+	return tx
+}
+
+// ContractAddr returns the address the contract deployed by this
+// transaction lives at. Only meaningful for TxDeploy.
+func (tx *Tx) ContractAddr() crypto.Address { return vm.ContractAddress(tx.ID()) }

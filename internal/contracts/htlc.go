@@ -1,0 +1,114 @@
+package contracts
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/vm"
+)
+
+// HTLCParams are the constructor parameters of an HTLC deployment.
+// The sender and locked asset come from the deployment message
+// (msg.sender, msg.value).
+type HTLCParams struct {
+	// Recipient receives the asset on redemption.
+	Recipient crypto.Address
+	// Hashlock is h = H(s); Redeem requires the preimage s.
+	Hashlock crypto.Hash
+	// Timelock is the absolute (virtual, milliseconds) time after
+	// which Refund becomes available and Redeem stops being accepted.
+	Timelock int64
+}
+
+// HTLC is the hashlock/timelock contract of Nolan's protocol and
+// Herlihy's generalization: assets transfer to the recipient against
+// the hash secret before the timelock, and refund to the sender after
+// it. The timelock is exactly the mechanism whose expiry violates
+// all-or-nothing atomicity for crashed participants (Section 1's
+// case against the current proposals); the AC3WN contracts in this
+// package exist to remove it.
+type HTLC struct {
+	Sender    crypto.Address
+	Recipient crypto.Address
+	Asset     vm.Amount
+	Hashlock  crypto.Hash
+	Timelock  int64
+	State     SwapState
+}
+
+// Type implements vm.Contract.
+func (h *HTLC) Type() string { return TypeHTLC }
+
+// Init implements the Algorithm 1 constructor with hashlock schemes.
+func (h *HTLC) Init(ctx *vm.Ctx, params []byte) error {
+	var p HTLCParams
+	if err := vm.DecodeGob(params, &p); err != nil {
+		return fmt.Errorf("htlc: params: %w", err)
+	}
+	if p.Recipient.IsZero() {
+		return errors.New("htlc: zero recipient")
+	}
+	if ctx.Msg.Value == 0 {
+		return errors.New("htlc: no asset locked")
+	}
+	if p.Timelock <= ctx.Time {
+		return errors.New("htlc: timelock not in the future")
+	}
+	h.Sender = ctx.Msg.Sender
+	h.Recipient = p.Recipient
+	h.Asset = ctx.Msg.Value
+	h.Hashlock = p.Hashlock
+	h.Timelock = p.Timelock
+	h.State = StatePublished
+	return nil
+}
+
+// Call dispatches redeem/refund.
+func (h *HTLC) Call(ctx *vm.Ctx, fn string, args []byte) error {
+	switch fn {
+	case FnRedeem:
+		return h.redeem(ctx, args)
+	case FnRefund:
+		return h.refund(ctx)
+	default:
+		return vm.ErrUnknownFunction(TypeHTLC, fn)
+	}
+}
+
+// redeem pays the recipient if the preimage matches before expiry.
+func (h *HTLC) redeem(ctx *vm.Ctx, secret []byte) error {
+	if h.State != StatePublished {
+		return fmt.Errorf("htlc: redeem in state %s", h.State)
+	}
+	if ctx.Time >= h.Timelock {
+		return errors.New("htlc: timelock expired")
+	}
+	if crypto.Sum(secret) != h.Hashlock {
+		return errors.New("htlc: wrong secret")
+	}
+	if err := ctx.Pay(h.Recipient, h.Asset); err != nil {
+		return err
+	}
+	h.State = StateRedeemed
+	return nil
+}
+
+// refund returns the asset to the sender after expiry. Anyone may
+// trigger it; the asset always goes back to the sender.
+func (h *HTLC) refund(ctx *vm.Ctx) error {
+	if h.State != StatePublished {
+		return fmt.Errorf("htlc: refund in state %s", h.State)
+	}
+	if ctx.Time < h.Timelock {
+		return errors.New("htlc: timelock not yet expired")
+	}
+	if err := ctx.Pay(h.Sender, h.Asset); err != nil {
+		return err
+	}
+	h.State = StateRefunded
+	return nil
+}
+
+// Clone implements vm.Contract.
+func (h *HTLC) Clone() vm.Contract { cp := *h; return &cp }

@@ -1,0 +1,155 @@
+package contracts
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/spv"
+	"repro/internal/vm"
+)
+
+// PermissionlessParams are the constructor parameters of Algorithm
+// 4's PermissionlessSC. They correspond to the (SCw, d) pair both
+// commitment schemes are set to: where the coordinator lives, how to
+// verify its chain, and how deep its state change must be buried.
+type PermissionlessParams struct {
+	// Recipient receives the asset on redemption.
+	Recipient crypto.Address
+	// WitnessChain identifies the witness network coordinating this
+	// AC2T. Different AC2Ts may use different witness networks
+	// (Section 5.2).
+	WitnessChain chain.ID
+	// WitnessCheckpoint is the encoded header of a stable block in
+	// the witness chain — the in-contract validation anchor of
+	// Section 4.3.
+	WitnessCheckpoint []byte
+	// SCw is the coordinator contract's address on the witness chain.
+	SCw crypto.Address
+	// Depth is d: evidence of SCw's state change counts only when its
+	// block is buried under at least d witness-chain blocks.
+	Depth int
+}
+
+// PermissionlessSC is the AC3WN asset contract (Algorithm 4). It has
+// no timelock: its redeem and refund are conditioned exclusively on
+// evidence of the witness contract's mutually exclusive states, so a
+// crashed participant can recover and still redeem — the paper's
+// all-or-nothing guarantee.
+type PermissionlessSC struct {
+	Sender            crypto.Address
+	Recipient         crypto.Address
+	Asset             vm.Amount
+	WitnessChain      chain.ID
+	WitnessCheckpoint []byte
+	SCw               crypto.Address
+	Depth             int
+	State             SwapState
+}
+
+// Type implements vm.Contract.
+func (c *PermissionlessSC) Type() string { return TypePermissionless }
+
+// Init implements the Algorithm 4 constructor.
+func (c *PermissionlessSC) Init(ctx *vm.Ctx, params []byte) error {
+	var p PermissionlessParams
+	if err := vm.DecodeGob(params, &p); err != nil {
+		return fmt.Errorf("ac3wn: params: %w", err)
+	}
+	if p.Recipient.IsZero() {
+		return errors.New("ac3wn: zero recipient")
+	}
+	if ctx.Msg.Value == 0 {
+		return errors.New("ac3wn: no asset locked")
+	}
+	if p.SCw.IsZero() {
+		return errors.New("ac3wn: zero witness contract address")
+	}
+	if p.Depth < 0 {
+		return errors.New("ac3wn: negative depth")
+	}
+	if _, err := chain.DecodeHeader(p.WitnessCheckpoint); err != nil {
+		return fmt.Errorf("ac3wn: witness checkpoint: %w", err)
+	}
+	c.Sender = ctx.Msg.Sender
+	c.Recipient = p.Recipient
+	c.Asset = ctx.Msg.Value
+	c.WitnessChain = p.WitnessChain
+	c.WitnessCheckpoint = p.WitnessCheckpoint
+	c.SCw = p.SCw
+	c.Depth = p.Depth
+	c.State = StatePublished
+	return nil
+}
+
+// Call dispatches redeem/refund with SPV evidence of the witness
+// contract's state as the argument.
+func (c *PermissionlessSC) Call(ctx *vm.Ctx, fn string, args []byte) error {
+	switch fn {
+	case FnRedeem:
+		if c.State != StatePublished {
+			return fmt.Errorf("ac3wn: redeem in state %s", c.State)
+		}
+		if err := c.verifyWitnessEvidence(args, FnAuthorizeRedeem); err != nil {
+			return fmt.Errorf("ac3wn: redeem: %w", err)
+		}
+		if err := ctx.Pay(c.Recipient, c.Asset); err != nil {
+			return err
+		}
+		c.State = StateRedeemed
+		return nil
+	case FnRefund:
+		if c.State != StatePublished {
+			return fmt.Errorf("ac3wn: refund in state %s", c.State)
+		}
+		if err := c.verifyWitnessEvidence(args, FnAuthorizeRefund); err != nil {
+			return fmt.Errorf("ac3wn: refund: %w", err)
+		}
+		if err := ctx.Pay(c.Sender, c.Asset); err != nil {
+			return err
+		}
+		c.State = StateRefunded
+		return nil
+	default:
+		return vm.ErrUnknownFunction(TypePermissionless, fn)
+	}
+}
+
+// verifyWitnessEvidence implements Algorithm 4's IsRedeemable /
+// IsRefundable: the evidence must prove that a successful call of
+// wantFn on SCw is included in the witness chain at depth ≥ d,
+// starting from the stored stable-block checkpoint. Because witness
+// miners exclude failing calls from blocks, inclusion implies the
+// state transition took effect; because SCw only allows P→RDauth or
+// P→RFauth, at most one such call exists per fork; and because the
+// evidence must be d-deep, fork ambiguity vanishes with probability
+// 1−ε (Lemma 5.3).
+func (c *PermissionlessSC) verifyWitnessEvidence(args []byte, wantFn string) error {
+	ev, err := spv.Decode(args)
+	if err != nil {
+		return err
+	}
+	checkpoint, err := chain.DecodeHeader(c.WitnessCheckpoint)
+	if err != nil {
+		return fmt.Errorf("stored checkpoint corrupt: %w", err)
+	}
+	if ev.ChainID != c.WitnessChain {
+		return fmt.Errorf("evidence from chain %s, want %s", ev.ChainID, c.WitnessChain)
+	}
+	tx, err := ev.Verify(checkpoint, c.Depth)
+	if err != nil {
+		return err
+	}
+	if tx.Kind != chain.TxCall || tx.Contract != c.SCw || tx.Fn != wantFn {
+		return fmt.Errorf("proven tx is not %s on the agreed SCw", wantFn)
+	}
+	return nil
+}
+
+// Clone implements vm.Contract.
+func (c *PermissionlessSC) Clone() vm.Contract {
+	cp := *c
+	cp.WitnessCheckpoint = append([]byte(nil), c.WitnessCheckpoint...)
+	return &cp
+}

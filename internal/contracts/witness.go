@@ -1,0 +1,263 @@
+package contracts
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/graph"
+	"repro/internal/spv"
+	"repro/internal/vm"
+)
+
+// ChainCheckpoint anchors evidence verification for one validated
+// blockchain: the header of a stable block (Section 4.3) and the
+// confirmation depth evidence from that chain must demonstrate.
+type ChainCheckpoint struct {
+	Chain chain.ID
+	// Header is the encoded stable-block header.
+	Header []byte
+	// EvidenceDepth is the burial depth deploy-evidence from this
+	// chain must prove.
+	EvidenceDepth int
+}
+
+// WitnessParams are the constructor parameters of Algorithm 3's
+// coordinator contract SCw.
+type WitnessParams struct {
+	// Edges and Timestamp reconstruct the AC2T graph D.
+	Edges     []graph.Edge
+	Timestamp int64
+	// Multisig is ms(D): every participant's signature over the graph
+	// digest. The constructor rejects incomplete multisignatures.
+	Multisig crypto.MultiSig
+	// Checkpoints holds one stable-block anchor per asset chain,
+	// sorted by chain id (a deterministic encoding keeps deployment
+	// transactions reproducible).
+	Checkpoints []ChainCheckpoint
+	// WitnessDepth is the depth d at which participants will accept
+	// SCw state-change evidence; asset contracts must be deployed
+	// with the same value (VerifyContracts checks it).
+	WitnessDepth int
+}
+
+// WitnessSC is the AC2T coordinator of Algorithm 3, deployed on the
+// witness network. Its state is the commit/abort decision: miners
+// only record a transition P→RDauth after verifying evidence that
+// every asset contract in the AC2T is published and correct, and only
+// one of the two transitions can ever occur on a given chain.
+type WitnessSC struct {
+	Participants []crypto.Address
+	Edges        []graph.Edge
+	Timestamp    int64
+	MSID         crypto.Hash // order-independent id of ms(D)
+	Checkpoints  []ChainCheckpoint
+	WitnessDepth int
+	State        WitnessState
+}
+
+// Type implements vm.Contract.
+func (w *WitnessSC) Type() string { return TypeWitness }
+
+// Init implements Algorithm 3's constructor: store the participants'
+// identities and the multisigned graph after verifying it.
+func (w *WitnessSC) Init(ctx *vm.Ctx, params []byte) error {
+	var p WitnessParams
+	if err := vm.DecodeGob(params, &p); err != nil {
+		return fmt.Errorf("witness: params: %w", err)
+	}
+	g, err := graph.New(p.Timestamp, p.Edges...)
+	if err != nil {
+		return fmt.Errorf("witness: graph: %w", err)
+	}
+	if !g.VerifyMultisig(&p.Multisig) {
+		return errors.New("witness: multisignature incomplete or invalid")
+	}
+	if p.WitnessDepth < 0 {
+		return errors.New("witness: negative witness depth")
+	}
+	// Every asset chain needs a checkpoint anchor.
+	anchored := make(map[chain.ID]bool, len(p.Checkpoints))
+	for _, cp := range p.Checkpoints {
+		if _, err := chain.DecodeHeader(cp.Header); err != nil {
+			return fmt.Errorf("witness: checkpoint for %s: %w", cp.Chain, err)
+		}
+		if cp.EvidenceDepth < 0 {
+			return fmt.Errorf("witness: negative evidence depth for %s", cp.Chain)
+		}
+		anchored[cp.Chain] = true
+	}
+	for _, id := range g.Chains() {
+		if !anchored[id] {
+			return fmt.Errorf("witness: no checkpoint for chain %s", id)
+		}
+	}
+	w.Participants = g.Participants
+	w.Edges = g.Edges
+	w.Timestamp = p.Timestamp
+	w.MSID = p.Multisig.ID()
+	w.Checkpoints = p.Checkpoints
+	w.WitnessDepth = p.WitnessDepth
+	w.State = WitnessPublished
+	return nil
+}
+
+// Call dispatches the two state transitions. Any other transition is
+// structurally impossible — the mutual-exclusion property Lemma 5.1
+// relies on.
+func (w *WitnessSC) Call(ctx *vm.Ctx, fn string, args []byte) error {
+	switch fn {
+	case FnAuthorizeRedeem:
+		if w.State != WitnessPublished {
+			return fmt.Errorf("witness: authorize_redeem in state %s", w.State)
+		}
+		if err := w.verifyContracts(ctx, args); err != nil {
+			return fmt.Errorf("witness: %w", err)
+		}
+		w.State = WitnessRedeemAuthorized
+		return nil
+	case FnAuthorizeRefund:
+		if w.State != WitnessPublished {
+			return fmt.Errorf("witness: authorize_refund in state %s", w.State)
+		}
+		w.State = WitnessRefundAuthorized
+		return nil
+	default:
+		return vm.ErrUnknownFunction(TypeWitness, fn)
+	}
+}
+
+// checkpointFor finds the anchor for a chain.
+func (w *WitnessSC) checkpointFor(id chain.ID) (*chain.Header, int, error) {
+	for _, cp := range w.Checkpoints {
+		if cp.Chain == id {
+			h, err := chain.DecodeHeader(cp.Header)
+			if err != nil {
+				return nil, 0, err
+			}
+			return h, cp.EvidenceDepth, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("no checkpoint for chain %s", id)
+}
+
+// verifyContracts is Algorithm 3's VerifyContracts: the evidence must
+// prove, for every edge e ∈ D.E, that a matching PermissionlessSC is
+// published on e.BC — right asset, right sender and recipient, and
+// redemption/refund conditioned on *this* SCw at the agreed depth.
+func (w *WitnessSC) verifyContracts(ctx *vm.Ctx, args []byte) error {
+	evs, err := DecodeEvidenceList(args)
+	if err != nil {
+		return err
+	}
+	if len(evs) != len(w.Edges) {
+		return fmt.Errorf("evidence for %d contracts, need %d", len(evs), len(w.Edges))
+	}
+	selfAddr := ctx.Self
+	for i, e := range w.Edges {
+		ev, err := spv.Decode(evs[i])
+		if err != nil {
+			return fmt.Errorf("edge %d: %w", i, err)
+		}
+		cp, depth, err := w.checkpointFor(e.Chain)
+		if err != nil {
+			return fmt.Errorf("edge %d: %w", i, err)
+		}
+		if ev.ChainID != e.Chain {
+			return fmt.Errorf("edge %d: evidence from chain %s, want %s", i, ev.ChainID, e.Chain)
+		}
+		tx, err := ev.Verify(cp, depth)
+		if err != nil {
+			return fmt.Errorf("edge %d: %w", i, err)
+		}
+		if err := matchDeployToEdge(tx, e, selfAddr, string(ctx.ChainID), w.WitnessDepth); err != nil {
+			return fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// matchDeployToEdge checks a proven deployment transaction against
+// its edge specification.
+func matchDeployToEdge(tx *chain.Tx, e graph.Edge, scw crypto.Address, witnessChain string, witnessDepth int) error {
+	if tx.Kind != chain.TxDeploy || tx.ContractType != TypePermissionless {
+		return fmt.Errorf("not a %s deployment", TypePermissionless)
+	}
+	if tx.Value != e.Asset {
+		return fmt.Errorf("locks %d, edge specifies %d", tx.Value, e.Asset)
+	}
+	if tx.Sig.Signer() != e.From {
+		return fmt.Errorf("deployed by %s, edge source is %s", tx.Sig.Signer(), e.From)
+	}
+	var p PermissionlessParams
+	if err := vm.DecodeGob(tx.Params, &p); err != nil {
+		return fmt.Errorf("constructor params: %w", err)
+	}
+	switch {
+	case p.Recipient != e.To:
+		return fmt.Errorf("recipient %s, edge specifies %s", p.Recipient, e.To)
+	case p.SCw != scw:
+		return errors.New("conditioned on a different witness contract")
+	case string(p.WitnessChain) != witnessChain:
+		return fmt.Errorf("conditioned on witness chain %s, want %s", p.WitnessChain, witnessChain)
+	case p.Depth != witnessDepth:
+		return fmt.Errorf("uses witness depth %d, agreed %d", p.Depth, witnessDepth)
+	}
+	return nil
+}
+
+// Clone implements vm.Contract.
+func (w *WitnessSC) Clone() vm.Contract {
+	cp := *w
+	cp.Participants = append([]crypto.Address(nil), w.Participants...)
+	cp.Edges = append([]graph.Edge(nil), w.Edges...)
+	cp.Checkpoints = append([]ChainCheckpoint(nil), w.Checkpoints...)
+	return &cp
+}
+
+// EncodeEvidenceList packs per-edge SPV evidence encodings into one
+// call argument.
+func EncodeEvidenceList(evs [][]byte) []byte {
+	var buf bytes.Buffer
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(evs)))
+	buf.Write(u32[:])
+	for _, ev := range evs {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(ev)))
+		buf.Write(u32[:])
+		buf.Write(ev)
+	}
+	return buf.Bytes()
+}
+
+// DecodeEvidenceList reverses EncodeEvidenceList.
+func DecodeEvidenceList(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, errors.New("evidence list: truncated")
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if int(n) > len(b) {
+		return nil, fmt.Errorf("evidence list: implausible count %d", n)
+	}
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return nil, errors.New("evidence list: truncated item header")
+		}
+		l := binary.BigEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return nil, errors.New("evidence list: truncated item")
+		}
+		out = append(out, append([]byte(nil), b[:l]...))
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("evidence list: %d trailing bytes", len(b))
+	}
+	return out, nil
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/crypto"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/xchain"
+)
+
+// TWConfig configures an AC3TW run (Section 4.1).
+type TWConfig struct {
+	Graph        *graph.Graph
+	Participants []*xchain.Participant
+	Initiator    *xchain.Participant
+	Trent        *Trent
+	// ConfirmDepth is the depth at which contracts count as deployed
+	// (both for Trent's verification and participants').
+	ConfirmDepth int
+	// AbortAfter (>0): the initiator requests a refund signature if
+	// the AC2T has not committed by then.
+	AbortAfter sim.Time
+	PollEvery  sim.Time
+}
+
+// TWRun is one executing AC3TW commitment.
+type TWRun struct {
+	w   *xchain.World
+	cfg TWConfig
+
+	start     sim.Time
+	msID      crypto.Hash
+	addrs     []crypto.Address
+	confirmed []bool
+
+	deployedOwn map[*xchain.Participant]bool
+	requested   bool
+	decision    crypto.Purpose
+	decisionSig crypto.Signature
+	settled     map[string]bool
+
+	Events      []Event
+	DecidedAt   sim.Time
+	CompletedAt sim.Time
+}
+
+// twAnnounce is the off-chain deployment announcement.
+type twAnnounce struct {
+	EdgeIdx int
+	Addr    crypto.Address
+}
+
+// twDecision broadcasts Trent's signature to all participants.
+type twDecision struct {
+	Purpose crypto.Purpose
+	Sig     crypto.Signature
+}
+
+// NewTW validates and prepares an AC3TW run.
+func NewTW(w *xchain.World, cfg TWConfig) (*TWRun, error) {
+	if cfg.Graph == nil || len(cfg.Participants) == 0 || cfg.Initiator == nil || cfg.Trent == nil {
+		return nil, fmt.Errorf("core: incomplete AC3TW config")
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 5 * sim.Second
+	}
+	return &TWRun{
+		w:           w,
+		cfg:         cfg,
+		addrs:       make([]crypto.Address, len(cfg.Graph.Edges)),
+		confirmed:   make([]bool, len(cfg.Graph.Edges)),
+		deployedOwn: make(map[*xchain.Participant]bool),
+		settled:     make(map[string]bool),
+	}, nil
+}
+
+// Start runs the protocol: register ms(D) at Trent, deploy all
+// contracts concurrently, request the redemption signature, settle.
+func (r *TWRun) Start() {
+	r.start = r.w.Sim.Now()
+	r.event(-1, "ac3tw started")
+	ms := crypto.NewMultiSig(r.cfg.Graph.Digest())
+	for _, p := range r.cfg.Participants {
+		ms.Add(p.Key)
+	}
+	r.msID = ms.ID()
+	for _, p := range r.cfg.Participants {
+		p := p
+		p.OnMessage(func(from *xchain.Participant, msg any) { r.onMessage(p, msg) })
+	}
+	r.cfg.Trent.Register(r.cfg.Graph, ms, func(err error) {
+		if err != nil {
+			r.event(-1, "registration failed: "+err.Error())
+			return
+		}
+		r.event(-1, "ms(D) registered at Trent")
+		// All participants deploy concurrently.
+		for _, p := range r.cfg.Participants {
+			r.deployOwnEdges(p)
+		}
+	})
+	if r.cfg.AbortAfter > 0 {
+		r.w.Sim.After(r.cfg.AbortAfter, func() {
+			if r.decision == 0 && !r.cfg.Initiator.Crashed() {
+				r.cfg.Trent.RequestRefund(r.msID, func(sig crypto.Signature, p crypto.Purpose, err error) {
+					if err == nil {
+						r.onDecision(p, sig)
+					}
+				})
+			}
+		})
+	}
+}
+
+func (r *TWRun) event(edge int, label string) {
+	r.Events = append(r.Events, Event{At: r.w.Sim.Now(), Label: label, Edge: edge})
+}
+
+// deployOwnEdges publishes p's outgoing CentralizedSC contracts.
+func (r *TWRun) deployOwnEdges(p *xchain.Participant) {
+	if r.deployedOwn[p] || p.Crashed() {
+		return
+	}
+	r.deployedOwn[p] = true
+	for i, e := range r.cfg.Graph.Edges {
+		if e.From != p.Addr() {
+			continue
+		}
+		i, e := i, e
+		params := vm.EncodeGob(contracts.CentralizedParams{
+			Recipient: e.To,
+			MSDigest:  r.msID,
+			Witness:   r.cfg.Trent.Key.Addr,
+		})
+		client := p.Client(e.Chain)
+		tx, addr, err := client.Deploy(contracts.TypeCentralized, params, e.Asset)
+		if err != nil {
+			r.event(i, "deploy failed: "+err.Error())
+			continue
+		}
+		p.Deploys++
+		r.event(i, "deploy submitted")
+		client.WhenTxAtDepth(tx, r.cfg.ConfirmDepth, func(crypto.Hash) {
+			r.event(i, "deploy confirmed")
+			r.addrs[i] = addr
+			r.confirmed[i] = true
+			for _, q := range r.cfg.Participants {
+				if q != p {
+					p.Tell(q, twAnnounce{EdgeIdx: i, Addr: addr})
+				}
+			}
+			r.maybeRequestRedeem()
+		})
+	}
+}
+
+// onMessage ingests announcements and decisions.
+func (r *TWRun) onMessage(p *xchain.Participant, msg any) {
+	switch m := msg.(type) {
+	case twAnnounce:
+		if r.addrs[m.EdgeIdx].IsZero() {
+			r.addrs[m.EdgeIdx] = m.Addr
+		}
+		r.confirmed[m.EdgeIdx] = true
+		r.maybeRequestRedeem()
+	case twDecision:
+		r.settleFor(p, m.Purpose, m.Sig)
+	}
+}
+
+// maybeRequestRedeem asks Trent for the redemption signature once all
+// contracts are confirmed.
+func (r *TWRun) maybeRequestRedeem() {
+	if r.requested {
+		return
+	}
+	for _, c := range r.confirmed {
+		if !c {
+			return
+		}
+	}
+	initiator := r.cfg.Initiator
+	if initiator.Crashed() {
+		return
+	}
+	r.requested = true
+	r.event(-1, "redeem signature requested from Trent")
+	r.cfg.Trent.RequestRedeem(r.msID, r.addrs, r.cfg.ConfirmDepth, func(sig crypto.Signature, p crypto.Purpose, err error) {
+		if err != nil {
+			r.event(-1, "Trent refused: "+err.Error())
+			r.requested = false // retry on next confirmation event
+			return
+		}
+		r.onDecision(p, sig)
+	})
+}
+
+// onDecision records Trent's signature and fans it out.
+func (r *TWRun) onDecision(p crypto.Purpose, sig crypto.Signature) {
+	if r.decision != 0 {
+		return
+	}
+	r.decision = p
+	r.decisionSig = sig
+	r.DecidedAt = r.w.Sim.Now()
+	r.event(-1, "Trent decided "+p.String())
+	for _, q := range r.cfg.Participants {
+		q := q
+		r.settleFor(q, p, sig)
+		r.cfg.Initiator.Tell(q, twDecision{Purpose: p, Sig: sig})
+	}
+}
+
+// settleFor makes q redeem its incoming edges (RD) or refund its
+// outgoing edges (RF) using Trent's signature as the secret.
+func (r *TWRun) settleFor(q *xchain.Participant, p crypto.Purpose, sig crypto.Signature) {
+	if q.Crashed() {
+		return
+	}
+	secret := crypto.EncodeSignature(sig)
+	for i, e := range r.cfg.Graph.Edges {
+		mine := (p == crypto.PurposeRedeem && e.To == q.Addr()) ||
+			(p == crypto.PurposeRefund && e.From == q.Addr())
+		if !mine || r.addrs[i].IsZero() {
+			continue
+		}
+		key := fmt.Sprintf("%s-%d", q.Name, i)
+		if r.settled[key] {
+			continue
+		}
+		r.settled[key] = true
+		i, e := i, e
+		fn := contracts.FnRedeem
+		if p == crypto.PurposeRefund {
+			fn = contracts.FnRefund
+		}
+		client := q.Client(e.Chain)
+		if _, err := client.Call(r.addrs[i], fn, secret, 0); err == nil {
+			q.Calls++
+			r.event(i, fn+" submitted")
+		}
+		client.WhenContract(r.addrs[i], 0, func(ct vm.Contract) bool {
+			sc, ok := ct.(*contracts.CentralizedSC)
+			return ok && sc.State != contracts.StatePublished
+		}, func() {
+			r.event(i, "terminal")
+			r.CompletedAt = r.w.Sim.Now()
+		})
+	}
+}
+
+// Addrs exposes per-edge contract addresses for grading.
+func (r *TWRun) Addrs() []crypto.Address { return append([]crypto.Address(nil), r.addrs...) }
+
+// Grade reads terminal contract states from ground-truth views and
+// counts on-chain operations (AC3TW pays N deploys + N calls; the
+// witness work happens off-chain at Trent).
+func (r *TWRun) Grade() *xchain.Outcome {
+	out := xchain.GradeGraph(r.w, r.cfg.Graph, r.addrs)
+	out.Start = r.start
+	end := r.start
+	for _, ev := range r.Events {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+	out.End = end
+	perChain := make(map[chain.ID]map[crypto.Address]bool)
+	for i, e := range r.cfg.Graph.Edges {
+		if r.addrs[i].IsZero() {
+			continue
+		}
+		if perChain[e.Chain] == nil {
+			perChain[e.Chain] = make(map[crypto.Address]bool)
+		}
+		perChain[e.Chain][r.addrs[i]] = true
+	}
+	for id, set := range perChain {
+		d, c := xchain.CountContractOps(r.w.View(id), set)
+		out.Deploys += d
+		out.Calls += c
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/graph"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+	"repro/internal/xchain"
+)
+
+// forkySpec makes a chain where propagation delay is comparable to
+// the block interval, so natural forks are frequent — the adversarial
+// environment Lemma 5.3 is about.
+func forkySpec(id chain.ID) xchain.ChainSpec {
+	s := xchain.DefaultChainSpec(id)
+	s.Miners = 4
+	s.Latency = p2p.LatencyModel{Base: 4 * sim.Second, Jitter: 6 * sim.Second}
+	return s
+}
+
+// TestAC3WNSafeOnForkyWitnessChain runs AC3WN with a witness network
+// that forks constantly. Depth-d confirmation must still yield a
+// single consistent decision: no run may ever mix redeemed and
+// refunded contracts (Lemma 5.3 with ε driven down by d).
+func TestAC3WNSafeOnForkyWitnessChain(t *testing.T) {
+	const trials = 6
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			seed := uint64(31000 + trial*977)
+			b := xchain.NewBuilder(seed)
+			alice := b.Participant("alice")
+			bob := b.Participant("bob")
+			b.Chain(xchain.DefaultChainSpec("bitcoin"))
+			b.Chain(xchain.DefaultChainSpec("ethereum"))
+			b.Chain(forkySpec("witness")) // the stressed network
+			b.Fund(alice, "bitcoin", 1_000_000)
+			b.Fund(bob, "ethereum", 1_000_000)
+			w, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.TwoParty(int64(seed), alice.Addr(), bob.Addr(),
+				40_000, "bitcoin", 90_000, "ethereum")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := New(w, Config{
+				Graph:        g,
+				Participants: []*xchain.Participant{alice, bob},
+				Initiator:    alice,
+				WitnessChain: "witness",
+				WitnessDepth: 4, // deeper d against the forky witness
+				AssetDepth:   2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Start()
+			w.RunUntil(3 * sim.Hour)
+			w.StopMining()
+			w.RunFor(2 * sim.Minute)
+
+			// The witness network must actually have forked for this
+			// test to mean anything.
+			if w.Net("witness").TotalReorgs() == 0 {
+				t.Fatal("witness network never forked; stress parameters too mild")
+			}
+			out := r.Grade()
+			if out.AtomicityViolated() {
+				t.Fatalf("fork broke atomicity: %+v", out.Edges)
+			}
+			if !out.Committed() {
+				t.Fatalf("AC2T did not commit on the forky witness chain: %+v (events %v)", out.Edges, r.Events)
+			}
+		})
+	}
+}

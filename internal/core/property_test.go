@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/xchain"
+)
+
+// TestAC3WNRandomCrashSchedulesNeverViolate is the repository's
+// strongest safety property test: across many seeded runs, each
+// participant crashes at a random time (possibly mid-protocol,
+// possibly never) and recovers at a random later time. Whatever the
+// schedule, all-or-nothing must hold at every observation point, and
+// once every participant has recovered the AC2T must reach a terminal
+// all-redeemed or all-refunded outcome (the commitment property).
+func TestAC3WNRandomCrashSchedulesNeverViolate(t *testing.T) {
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("schedule-%d", trial), func(t *testing.T) {
+			seed := uint64(9000 + trial*131)
+			rng := sim.NewRNG(seed)
+
+			b := xchain.NewBuilder(seed)
+			alice := b.Participant("alice")
+			bob := b.Participant("bob")
+			carol := b.Participant("carol")
+			ids := []chain.ID{"c0", "c1", "c2", "witness"}
+			for _, id := range ids {
+				b.Chain(xchain.DefaultChainSpec(id))
+			}
+			ps := []*xchain.Participant{alice, bob, carol}
+			for i, p := range ps {
+				b.Fund(p, ids[i], 1_000_000)
+			}
+			w, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.Ring(int64(seed),
+				[]crypto.Address{alice.Addr(), bob.Addr(), carol.Addr()},
+				10_000, []chain.ID{"c0", "c1", "c2"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := New(w, Config{
+				Graph:        g,
+				Participants: ps,
+				Initiator:    alice,
+				WitnessChain: "witness",
+				WitnessDepth: 2,
+				AssetDepth:   2,
+				AbortAfter:   45 * sim.Minute,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Start()
+
+			// Random crash/recovery schedule per participant: crash
+			// somewhere in the first 30 virtual minutes (or not at
+			// all), recover 10–40 minutes later.
+			for _, p := range ps {
+				p := p
+				if rng.Float64() < 0.25 {
+					continue // this participant stays up
+				}
+				crashAt := sim.Time(rng.Int63n(int64(30 * sim.Minute)))
+				downFor := 10*sim.Minute + sim.Time(rng.Int63n(int64(30*sim.Minute)))
+				w.Sim.At(crashAt, func() {
+					if !p.Crashed() {
+						p.Crash()
+					}
+				})
+				w.Sim.At(crashAt+downFor, func() {
+					if p.Crashed() {
+						p.Recover()
+						r.Resume(p)
+					}
+				})
+			}
+
+			// Observe atomicity at intermediate points, not just the
+			// end: a transient mixed state would also be a violation.
+			for _, at := range []sim.Time{20 * sim.Minute, time1hr, 2 * time1hr} {
+				w.RunUntil(at)
+				if out := r.Grade(); out.AtomicityViolated() {
+					t.Fatalf("atomicity violated at t=%v: %+v", at, out.Edges)
+				}
+			}
+
+			// Everyone is up by now; the AC2T must settle terminally.
+			w.RunUntil(4 * time1hr)
+			w.StopMining()
+			w.RunFor(sim.Minute)
+			out := r.Grade()
+			if out.AtomicityViolated() {
+				t.Fatalf("atomicity violated at end: %+v", out.Edges)
+			}
+			if !out.Committed() && !out.Aborted() {
+				t.Fatalf("AC2T stuck after full recovery: %+v (events %v)", out.Edges, r.Events)
+			}
+		})
+	}
+}
+
+const time1hr = 1 * sim.Hour

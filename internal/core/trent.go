@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/crypto"
+	"repro/internal/graph"
+	"repro/internal/miner"
+	"repro/internal/sim"
+	"repro/internal/xchain"
+)
+
+// Trent is the centralized trusted witness of Section 4.1: a
+// key/value store from ms(D) to ⊥ / T(ms(D),RD) / T(ms(D),RF),
+// guarded so at most one of the two signatures is ever issued per
+// registered AC2T. Trent reads the asset chains through ordinary
+// clients to verify contract deployment before signing a redemption.
+//
+// Trent is the protocol's single point of failure — Crash/Recover
+// model the availability weakness (denial of service) the paper cites
+// as the reason to replace him with a witness network.
+type Trent struct {
+	Key *crypto.KeyPair
+
+	s       *sim.Sim
+	latency sim.Time
+	clients map[chain.ID]*miner.Client
+	store   map[crypto.Hash]*trentEntry
+	crashed bool
+
+	// SignedRD / SignedRF count decisions (diagnostics).
+	SignedRD, SignedRF int
+}
+
+// trentEntry is one registered AC2T.
+type trentEntry struct {
+	g        *graph.Graph
+	decision crypto.Purpose // 0 = ⊥
+	sig      crypto.Signature
+}
+
+// NewTrent creates the witness with read clients on the given world's
+// chains. latency is the request/response one-way delay.
+func NewTrent(w *xchain.World, seed uint64, latency sim.Time) *Trent {
+	rng := sim.NewRNG(seed)
+	key := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+	t := &Trent{
+		Key:     key,
+		s:       w.Sim,
+		latency: latency,
+		clients: make(map[chain.ID]*miner.Client),
+		store:   make(map[crypto.Hash]*trentEntry),
+	}
+	for _, id := range w.Chains() {
+		t.clients[id] = miner.NewClient(w.Net(id), 0, key)
+	}
+	return t
+}
+
+// Crash takes Trent offline: requests go unanswered (the DoS
+// scenario).
+func (t *Trent) Crash() { t.crashed = true }
+
+// Recover brings Trent back; his store (durable) is intact.
+func (t *Trent) Recover() { t.crashed = false }
+
+// Register stores ms(D) if not registered before; cb receives the
+// outcome. All methods respond asynchronously after the RPC latency.
+func (t *Trent) Register(g *graph.Graph, ms *crypto.MultiSig, cb func(error)) {
+	t.rpc(func() {
+		if !g.VerifyMultisig(ms) {
+			t.reply(cb, fmt.Errorf("trent: invalid multisignature"))
+			return
+		}
+		id := ms.ID()
+		if _, dup := t.store[id]; dup {
+			t.reply(cb, fmt.Errorf("trent: ms(D) already registered"))
+			return
+		}
+		t.store[id] = &trentEntry{g: g}
+		t.reply(cb, nil)
+	})
+}
+
+// RequestRedeem asks Trent to witness the commitment: he verifies all
+// contracts are deployed and correct, then signs (ms(D), RD). If the
+// AC2T was already decided, the stored value is returned (matching
+// the paper: Trent "responds ... with the value corresponding to
+// ms(D) in the key/value store").
+func (t *Trent) RequestRedeem(msID crypto.Hash, addrs []crypto.Address, depth int, cb func(crypto.Signature, crypto.Purpose, error)) {
+	t.rpc(func() {
+		e, ok := t.store[msID]
+		if !ok {
+			t.replySig(cb, crypto.Signature{}, 0, fmt.Errorf("trent: unknown ms(D)"))
+			return
+		}
+		if e.decision != 0 {
+			t.replySig(cb, e.sig, e.decision, nil)
+			return
+		}
+		if err := t.verifyContracts(e.g, msID, addrs, depth); err != nil {
+			t.replySig(cb, crypto.Signature{}, 0, err)
+			return
+		}
+		e.decision = crypto.PurposeRedeem
+		e.sig = t.Key.Sign(crypto.WitnessMessage(msID, crypto.PurposeRedeem))
+		t.SignedRD++
+		t.replySig(cb, e.sig, e.decision, nil)
+	})
+}
+
+// RequestRefund asks Trent to witness the abort. He signs (ms(D), RF)
+// only if no decision exists yet.
+func (t *Trent) RequestRefund(msID crypto.Hash, cb func(crypto.Signature, crypto.Purpose, error)) {
+	t.rpc(func() {
+		e, ok := t.store[msID]
+		if !ok {
+			t.replySig(cb, crypto.Signature{}, 0, fmt.Errorf("trent: unknown ms(D)"))
+			return
+		}
+		if e.decision != 0 {
+			t.replySig(cb, e.sig, e.decision, nil)
+			return
+		}
+		e.decision = crypto.PurposeRefund
+		e.sig = t.Key.Sign(crypto.WitnessMessage(msID, crypto.PurposeRefund))
+		t.SignedRF++
+		t.replySig(cb, e.sig, e.decision, nil)
+	})
+}
+
+// verifyContracts checks every edge has a matching CentralizedSC in
+// state P at the required depth, with both schemes set to
+// (ms(D), PK_T).
+func (t *Trent) verifyContracts(g *graph.Graph, msID crypto.Hash, addrs []crypto.Address, depth int) error {
+	if len(addrs) != len(g.Edges) {
+		return fmt.Errorf("trent: %d addresses for %d edges", len(addrs), len(g.Edges))
+	}
+	for i, e := range g.Edges {
+		client, ok := t.clients[e.Chain]
+		if !ok {
+			return fmt.Errorf("trent: no client for chain %s", e.Chain)
+		}
+		ct, ok := client.ContractNow(addrs[i], depth)
+		if !ok {
+			return fmt.Errorf("trent: edge %d contract not found at depth %d", i, depth)
+		}
+		sc, isC := ct.(*contracts.CentralizedSC)
+		if !isC {
+			return fmt.Errorf("trent: edge %d is not a CentralizedSC", i)
+		}
+		switch {
+		case sc.State != contracts.StatePublished:
+			return fmt.Errorf("trent: edge %d in state %s", i, sc.State)
+		case sc.Sender != e.From || sc.Recipient != e.To:
+			return fmt.Errorf("trent: edge %d parties mismatch", i)
+		case sc.Asset != e.Asset:
+			return fmt.Errorf("trent: edge %d locks %d, want %d", i, sc.Asset, e.Asset)
+		case sc.MSDigest != msID:
+			return fmt.Errorf("trent: edge %d committed to a different ms(D)", i)
+		case sc.Witness != t.Key.Addr:
+			return fmt.Errorf("trent: edge %d trusts a different witness", i)
+		}
+	}
+	return nil
+}
+
+// rpc runs fn after the request latency unless Trent is down.
+func (t *Trent) rpc(fn func()) {
+	t.s.After(t.latency, func() {
+		if t.crashed {
+			return // request lost; client times out
+		}
+		fn()
+	})
+}
+
+// reply responds after the response latency.
+func (t *Trent) reply(cb func(error), err error) {
+	t.s.After(t.latency, func() { cb(err) })
+}
+
+func (t *Trent) replySig(cb func(crypto.Signature, crypto.Purpose, error), sig crypto.Signature, p crypto.Purpose, err error) {
+	t.s.After(t.latency, func() { cb(sig, p, err) })
+}

@@ -1,0 +1,59 @@
+package crypto
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Signature and multisignature costs dominate transaction validation;
+// these benchmarks size them.
+
+func BenchmarkSign(b *testing.B) {
+	k := MustGenerateKey(NewRandReader(sim.NewRNG(1).Uint64))
+	msg := []byte("an AC2T graph digest")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	k := MustGenerateKey(NewRandReader(sim.NewRNG(1).Uint64))
+	msg := []byte("an AC2T graph digest")
+	sig := k.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sig.Verify(msg) {
+			b.Fatal("valid signature rejected")
+		}
+	}
+}
+
+func BenchmarkMultiSigComplete(b *testing.B) {
+	rng := sim.NewRNG(2)
+	digest := Sum([]byte("(D, t)"))
+	ms := NewMultiSig(digest)
+	var required []Address
+	for i := 0; i < 8; i++ {
+		k := MustGenerateKey(NewRandReader(rng.Uint64))
+		ms.Add(k)
+		required = append(required, k.Addr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ms.Complete(required) {
+			b.Fatal("complete multisig rejected")
+		}
+	}
+}
+
+func BenchmarkHashLockVerify(b *testing.B) {
+	hl := NewHashLock([]byte("secret"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !hl.Verify([]byte("secret")) {
+			b.Fatal("hashlock rejected")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package crypto
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiSig is the multisignature ms(D) of Equation 1: every
+// participant of an AC2T signs the digest of the timestamped
+// transaction graph (D, t). The paper notes the order of signatures is
+// irrelevant — any complete set proves all participants agreed on D at
+// t — so we model ms(D) as an order-independent signature set rather
+// than the nested form, and derive an order-independent identifier.
+type MultiSig struct {
+	Digest Hash // digest of the canonical encoding of (D, t)
+	Sigs   []Signature
+}
+
+// NewMultiSig starts a multisignature over the given graph digest.
+func NewMultiSig(digest Hash) *MultiSig {
+	return &MultiSig{Digest: digest}
+}
+
+// Add appends k's signature over the digest. Adding the same signer
+// twice is a no-op: one signature per participant suffices.
+func (m *MultiSig) Add(k *KeyPair) {
+	for _, s := range m.Sigs {
+		if s.Signer() == k.Addr {
+			return
+		}
+	}
+	m.Sigs = append(m.Sigs, k.Sign(m.Digest[:]))
+}
+
+// AddSignature appends an externally produced signature (for
+// participants signing on remote sites). Invalid or duplicate
+// signatures are rejected.
+func (m *MultiSig) AddSignature(sig Signature) error {
+	if !sig.Verify(m.Digest[:]) {
+		return fmt.Errorf("crypto: multisig: invalid signature from %s", sig.Signer())
+	}
+	for _, s := range m.Sigs {
+		if s.Signer() == sig.Signer() {
+			return fmt.Errorf("crypto: multisig: duplicate signer %s", sig.Signer())
+		}
+	}
+	m.Sigs = append(m.Sigs, sig.Clone())
+	return nil
+}
+
+// Signers returns the sorted addresses that have signed.
+func (m *MultiSig) Signers() []Address {
+	out := make([]Address, 0, len(m.Sigs))
+	for _, s := range m.Sigs {
+		out = append(out, s.Signer())
+	}
+	sortAddresses(out)
+	return out
+}
+
+// Complete reports whether every required participant has validly
+// signed the digest. Extra signatures from non-participants do not
+// make an incomplete multisignature complete, but are tolerated (the
+// paper only requires that all participants agree).
+func (m *MultiSig) Complete(required []Address) bool {
+	have := make(map[Address]bool, len(m.Sigs))
+	for _, s := range m.Sigs {
+		if !s.Verify(m.Digest[:]) {
+			return false
+		}
+		have[s.Signer()] = true
+	}
+	for _, r := range required {
+		if !have[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// ID returns an order-independent identifier for this ms(D): the hash
+// of the graph digest together with the sorted signer set. Two
+// multisignatures over the same (D, t) by the same participants have
+// the same ID regardless of signing order, matching the paper's remark
+// that "the order of participant signatures in ms(D) is not important".
+func (m *MultiSig) ID() Hash {
+	signers := m.Signers()
+	parts := make([][]byte, 0, len(signers)+1)
+	parts = append(parts, m.Digest[:])
+	for _, a := range signers {
+		a := a
+		parts = append(parts, a[:])
+	}
+	return Sum(parts...)
+}
+
+// Clone deep-copies the multisignature.
+func (m *MultiSig) Clone() *MultiSig {
+	out := &MultiSig{Digest: m.Digest, Sigs: make([]Signature, len(m.Sigs))}
+	for i, s := range m.Sigs {
+		out.Sigs[i] = s.Clone()
+	}
+	return out
+}
+
+func sortAddresses(as []Address) {
+	sort.Slice(as, func(i, j int) bool {
+		for k := range as[i] {
+			if as[i][k] != as[j][k] {
+				return as[i][k] < as[j][k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,141 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Scheme is the commitment-scheme primitive of Section 3: assets are
+// locked in a contract under an instance (the lock); revealing a
+// matching Secret (the key) unlocks them. The paper instantiates three
+// shapes, all implemented in this repository:
+//
+//   - HashLock: h = H(s), the Nolan/Herlihy hashlock (this package).
+//   - Trusted-witness signatures over (ms(D), RD|RF) — AC3TW,
+//     implemented by SigLock in this package.
+//   - Witness-chain state evidence — AC3WN, implemented by the
+//     contracts package on top of spv evidence (the "secret" there is
+//     a chain proof, so it does not flow through this interface).
+type Scheme interface {
+	// Verify reports whether secret opens this commitment instance.
+	Verify(secret []byte) bool
+	// Describe names the scheme for diagnostics.
+	Describe() string
+}
+
+// HashLock is the classic hashlock commitment: Lock = H(secret).
+type HashLock struct {
+	Lock Hash
+}
+
+// NewHashLock commits to secret and returns the lock.
+func NewHashLock(secret []byte) HashLock {
+	return HashLock{Lock: Sum(secret)}
+}
+
+// Verify reports whether H(secret) == Lock.
+func (h HashLock) Verify(secret []byte) bool { return Sum(secret) == h.Lock }
+
+// Describe implements Scheme.
+func (h HashLock) Describe() string { return fmt.Sprintf("hashlock(%s)", h.Lock) }
+
+// Purpose tags what a witness signature authorizes, mirroring the
+// paper's (ms(D), RD) and (ms(D), RF) message pairs.
+type Purpose byte
+
+// The two mutually exclusive decisions a witness can sign.
+const (
+	PurposeRedeem Purpose = 1 // RD: commit the AC2T, all contracts redeem
+	PurposeRefund Purpose = 2 // RF: abort the AC2T, all contracts refund
+)
+
+// String names the purpose.
+func (p Purpose) String() string {
+	switch p {
+	case PurposeRedeem:
+		return "RD"
+	case PurposeRefund:
+		return "RF"
+	default:
+		return fmt.Sprintf("purpose(%d)", byte(p))
+	}
+}
+
+// WitnessMessage builds the canonical byte message a trusted witness
+// signs for a given multisigned-graph digest and purpose. Both AC3TW's
+// Trent and the contracts that verify his signatures must agree on
+// this encoding.
+func WitnessMessage(msDigest Hash, p Purpose) []byte {
+	msg := make([]byte, 0, HashSize+9)
+	msg = append(msg, "ac3tw/v1"...)
+	msg = append(msg, byte(p))
+	msg = append(msg, msDigest[:]...)
+	return msg
+}
+
+// SigLock is the AC3TW commitment scheme: the pair (ms(D), PK_T) of
+// Algorithm 2. A secret is Trent's signature over WitnessMessage.
+type SigLock struct {
+	MSDigest   Hash    // digest of the multisigned graph ms(D)
+	WitnessPub Address // Trent's address (derived from PK_T)
+	Purpose    Purpose // RD or RF
+}
+
+// VerifySig reports whether sig is a valid witness signature for this
+// lock: correct message, valid signature, and signed by the trusted
+// witness identity the lock was created with.
+func (l SigLock) VerifySig(sig Signature) bool {
+	if !sig.Verify(WitnessMessage(l.MSDigest, l.Purpose)) {
+		return false
+	}
+	return sig.Signer() == l.WitnessPub
+}
+
+// Verify implements Scheme over an encoded signature (EncodeSignature).
+func (l SigLock) Verify(secret []byte) bool {
+	sig, err := DecodeSignature(secret)
+	if err != nil {
+		return false
+	}
+	return l.VerifySig(sig)
+}
+
+// Describe implements Scheme.
+func (l SigLock) Describe() string {
+	return fmt.Sprintf("siglock(ms=%s, witness=%s, %s)", l.MSDigest, l.WitnessPub, l.Purpose)
+}
+
+// EncodeSignature serializes a Signature for use as a Scheme secret.
+func EncodeSignature(sig Signature) []byte {
+	out := make([]byte, 0, 8+len(sig.Pub)+len(sig.Sig))
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(sig.Pub)))
+	out = append(out, n[:]...)
+	out = append(out, sig.Pub...)
+	binary.BigEndian.PutUint32(n[:], uint32(len(sig.Sig)))
+	out = append(out, n[:]...)
+	out = append(out, sig.Sig...)
+	return out
+}
+
+// DecodeSignature reverses EncodeSignature.
+func DecodeSignature(b []byte) (Signature, error) {
+	var sig Signature
+	if len(b) < 4 {
+		return sig, fmt.Errorf("crypto: signature encoding too short")
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint32(len(b)) < n+4 {
+		return sig, fmt.Errorf("crypto: truncated public key")
+	}
+	sig.Pub = append([]byte(nil), b[:n]...)
+	b = b[n:]
+	m := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint32(len(b)) != m {
+		return sig, fmt.Errorf("crypto: truncated signature body")
+	}
+	sig.Sig = append([]byte(nil), b...)
+	return sig, nil
+}

@@ -1,0 +1,61 @@
+package fees
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHerlihyVsAC3WNOperationCounts(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		h := HerlihyCost(ScheduleETH300, n)
+		a := AC3WNCost(ScheduleETH300, n)
+		if h.Deploys != n || h.Calls != n {
+			t.Fatalf("n=%d: herlihy ops %d/%d", n, h.Deploys, h.Calls)
+		}
+		if a.Deploys != n+1 || a.Calls != n+1 {
+			t.Fatalf("n=%d: ac3wn ops %d/%d", n, a.Deploys, a.Calls)
+		}
+		// Relative overhead is exactly 1/N.
+		rel := (a.USD - h.USD) / h.USD
+		if math.Abs(rel-Overhead(n)) > 1e-12 {
+			t.Fatalf("n=%d: overhead %v, want %v", n, rel, Overhead(n))
+		}
+	}
+}
+
+func TestPaperDollarFigures(t *testing.T) {
+	// Section 6.2: deploying an SCw-like contract costs ≈$4 at
+	// $300/ETH and ≈$2 at $140/ETH.
+	if got := ScheduleETH300.Price(1, 0); got != 4 {
+		t.Fatalf("deploy at $300/ETH = $%v, want $4", got)
+	}
+	if got := ScheduleETH140.Price(1, 0); got != 2 {
+		t.Fatalf("deploy at $140/ETH = $%v, want $2", got)
+	}
+	// The conclusion's "$25 combined per AC2T" order of magnitude:
+	// a 2-edge AC2T under AC3WN costs (N+1)(fd+ffc) = 3·$8 = $24 at
+	// the $300 rate.
+	a := AC3WNCost(ScheduleETH300, 2)
+	if a.USD != 24 {
+		t.Fatalf("two-party AC3WN cost = $%v, want $24", a.USD)
+	}
+}
+
+func TestOverheadEdgeCases(t *testing.T) {
+	if Overhead(0) != 0 {
+		t.Fatal("overhead(0) should be 0")
+	}
+	if Overhead(1) != 1 {
+		t.Fatal("overhead(1) should be 1")
+	}
+}
+
+func TestMeasuredCostAndString(t *testing.T) {
+	c := MeasuredCost(ScheduleETH140, "AC3WN", 3, 3)
+	if c.USD != 12 {
+		t.Fatalf("measured = $%v", c.USD)
+	}
+	if c.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}

@@ -1,0 +1,337 @@
+// Package graph models atomic cross-chain transactions (AC2Ts) as the
+// directed graphs of Section 3: D = (V, E) where vertices are
+// participants and a directed edge e = (u, v) is a sub-transaction
+// transferring asset e.a from u to v on blockchain e.BC.
+//
+// The package computes the graph diameter Diam(D) that drives the
+// latency analysis of Section 6.1, builds the timestamped
+// multisignature ms(D) of Equation 1, classifies the complex shapes of
+// Section 5.3 (cyclic, disconnected), and generates the workload
+// graphs the experiments sweep over.
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/vm"
+)
+
+// Edge is one sub-transaction: transfer Asset from From to To on
+// Chain. Participants use one identity across all chains.
+type Edge struct {
+	From  crypto.Address
+	To    crypto.Address
+	Asset vm.Amount
+	Chain chain.ID
+}
+
+// Graph is a timestamped AC2T graph (D, t). Construct with New, which
+// validates shape and derives the participant set.
+type Graph struct {
+	Edges        []Edge
+	Participants []crypto.Address // derived from edges, sorted, unique
+	Timestamp    int64            // the t of Equation 1
+}
+
+// New validates the edges and builds the graph. The timestamp
+// distinguishes identical AC2Ts among the same participants.
+func New(timestamp int64, edges ...Edge) (*Graph, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("graph: no edges")
+	}
+	seen := make(map[crypto.Address]bool)
+	var parts []crypto.Address
+	for i, e := range edges {
+		switch {
+		case e.From == e.To:
+			return nil, fmt.Errorf("graph: edge %d is a self-transfer", i)
+		case e.From.IsZero() || e.To.IsZero():
+			return nil, fmt.Errorf("graph: edge %d has a zero participant", i)
+		case e.Asset == 0:
+			return nil, fmt.Errorf("graph: edge %d transfers nothing", i)
+		case e.Chain == "":
+			return nil, fmt.Errorf("graph: edge %d has no blockchain", i)
+		}
+		for _, a := range []crypto.Address{e.From, e.To} {
+			if !seen[a] {
+				seen[a] = true
+				parts = append(parts, a)
+			}
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return lessAddr(parts[i], parts[j]) })
+	return &Graph{Edges: append([]Edge(nil), edges...), Participants: parts, Timestamp: timestamp}, nil
+}
+
+func lessAddr(a, b crypto.Address) bool { return bytes.Compare(a[:], b[:]) < 0 }
+
+// Digest canonically encodes (D, t) and hashes it — the message every
+// participant signs to form ms(D). Edge order does not affect the
+// digest.
+func (g *Graph) Digest() crypto.Hash {
+	edges := append([]Edge(nil), g.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if c := bytes.Compare(edges[i].From[:], edges[j].From[:]); c != 0 {
+			return c < 0
+		}
+		if c := bytes.Compare(edges[i].To[:], edges[j].To[:]); c != 0 {
+			return c < 0
+		}
+		if edges[i].Chain != edges[j].Chain {
+			return edges[i].Chain < edges[j].Chain
+		}
+		return edges[i].Asset < edges[j].Asset
+	})
+	var buf bytes.Buffer
+	buf.WriteString("ac2t-graph/v1")
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(g.Timestamp))
+	buf.Write(u64[:])
+	binary.BigEndian.PutUint64(u64[:], uint64(len(edges)))
+	buf.Write(u64[:])
+	for _, e := range edges {
+		buf.Write(e.From[:])
+		buf.Write(e.To[:])
+		binary.BigEndian.PutUint64(u64[:], e.Asset)
+		buf.Write(u64[:])
+		buf.WriteString(string(e.Chain))
+		buf.WriteByte(0)
+	}
+	return crypto.Sum(buf.Bytes())
+}
+
+// Sign builds the multisignature ms(D) with the given keys. Every
+// participant must be among the signers for the result to be
+// Complete.
+func (g *Graph) Sign(keys ...*crypto.KeyPair) *crypto.MultiSig {
+	ms := crypto.NewMultiSig(g.Digest())
+	for _, k := range keys {
+		ms.Add(k)
+	}
+	return ms
+}
+
+// VerifyMultisig reports whether ms is a complete, valid
+// multisignature of this graph by all its participants.
+func (g *Graph) VerifyMultisig(ms *crypto.MultiSig) bool {
+	if ms == nil || ms.Digest != g.Digest() {
+		return false
+	}
+	return ms.Complete(g.Participants)
+}
+
+// index maps participants to dense ids for traversal.
+func (g *Graph) index() map[crypto.Address]int {
+	idx := make(map[crypto.Address]int, len(g.Participants))
+	for i, p := range g.Participants {
+		idx[p] = i
+	}
+	return idx
+}
+
+// adjacency builds out-edges by participant id.
+func (g *Graph) adjacency() [][]int {
+	idx := g.index()
+	adj := make([][]int, len(g.Participants))
+	for _, e := range g.Edges {
+		u, v := idx[e.From], idx[e.To]
+		adj[u] = append(adj[u], v)
+	}
+	return adj
+}
+
+// Diameter returns Diam(D): "the length of the longest path from any
+// vertex in D to any other vertex in D including itself" — i.e. the
+// maximum over ordered pairs (u, v) of the shortest directed path,
+// where u = v means the shortest cycle through u. Unreachable pairs
+// are skipped (they occur in disconnected graphs). The smallest swap
+// (two parties exchanging assets) has diameter 2, matching Figure 10's
+// x-axis.
+func (g *Graph) Diameter() int {
+	adj := g.adjacency()
+	n := len(g.Participants)
+	diam := 0
+	for s := 0; s < n; s++ {
+		dist := bfsFrom(adj, n, s)
+		for v, d := range dist {
+			if d < 0 {
+				continue // unreachable
+			}
+			if v == s && d == 0 {
+				continue // replaced by cycle length below
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+		// Shortest cycle through s: 1 + shortest path from any
+		// out-neighbour back to s.
+		best := -1
+		for _, nb := range adj[s] {
+			back := bfsFrom(adj, n, nb)
+			if back[s] >= 0 {
+				if c := 1 + back[s]; best < 0 || c < best {
+					best = c
+				}
+			}
+		}
+		if best > diam {
+			diam = best
+		}
+	}
+	return diam
+}
+
+// bfsFrom returns shortest path lengths from s (-1 = unreachable).
+func bfsFrom(adj [][]int, n, s int) []int {
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// IsWeaklyConnected reports whether the graph is connected ignoring
+// edge direction. Figure 7b's disconnected graphs return false.
+func (g *Graph) IsWeaklyConnected() bool {
+	n := len(g.Participants)
+	if n == 0 {
+		return true
+	}
+	idx := g.index()
+	und := make([][]int, n)
+	for _, e := range g.Edges {
+		u, v := idx[e.From], idx[e.To]
+		und[u] = append(und[u], v)
+		und[v] = append(und[v], u)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range und[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// hasCycleExcluding reports whether the directed graph contains a
+// cycle after removing vertex `skip` (-1 removes nothing).
+func (g *Graph) hasCycleExcluding(skip int) bool {
+	adj := g.adjacency()
+	n := len(g.Participants)
+	color := make([]int, n) // 0 white, 1 gray, 2 black
+	var visit func(int) bool
+	visit = func(u int) bool {
+		color[u] = 1
+		for _, v := range adj[u] {
+			if v == skip {
+				continue
+			}
+			if color[v] == 1 {
+				return true
+			}
+			if color[v] == 0 && visit(v) {
+				return true
+			}
+		}
+		color[u] = 2
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if u == skip || color[u] != 0 {
+			continue
+		}
+		if visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCyclic reports whether the directed graph contains any cycle.
+func (g *Graph) IsCyclic() bool { return g.hasCycleExcluding(-1) }
+
+// HerlihyFeasible reports whether Herlihy's single-leader protocol can
+// execute this graph: it must be weakly connected, and some leader
+// vertex must exist whose removal leaves the graph acyclic (Section
+// 5.3: "both protocols require the AC2T graph to be acyclic once the
+// leader node is removed" and "fail to handle disconnected graphs").
+// The second result names a feasible leader when one exists.
+func (g *Graph) HerlihyFeasible() (bool, crypto.Address) {
+	if !g.IsWeaklyConnected() {
+		return false, crypto.Address{}
+	}
+	for i, p := range g.Participants {
+		if !g.hasCycleExcluding(i) {
+			return true, p
+		}
+	}
+	return false, crypto.Address{}
+}
+
+// EdgesFrom returns the edges whose source is u.
+func (g *Graph) EdgesFrom(u crypto.Address) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.From == u {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EdgesTo returns the edges whose recipient is u.
+func (g *Graph) EdgesTo(u crypto.Address) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.To == u {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Chains returns the distinct blockchains the AC2T touches.
+func (g *Graph) Chains() []chain.ID {
+	seen := make(map[chain.ID]bool)
+	var out []chain.ID
+	for _, e := range g.Edges {
+		if !seen[e.Chain] {
+			seen[e.Chain] = true
+			out = append(out, e.Chain)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the graph for logs.
+func (g *Graph) String() string {
+	return fmt.Sprintf("AC2T{|V|=%d |E|=%d diam=%d t=%d}", len(g.Participants), len(g.Edges), g.Diameter(), g.Timestamp)
+}

@@ -1,0 +1,50 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+// Merkle costs scale the per-block overhead of tx roots and the
+// per-evidence overhead of inclusion proofs.
+
+func benchLeaves(n int) []crypto.Hash {
+	leaves := make([]crypto.Hash, n)
+	for i := range leaves {
+		leaves[i] = LeafHash([]byte(fmt.Sprintf("tx-%d", i)))
+	}
+	return leaves
+}
+
+func BenchmarkRoot(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("leaves=%d", n), func(b *testing.B) {
+			leaves := benchLeaves(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = Root(leaves)
+			}
+		})
+	}
+}
+
+func BenchmarkProveAndVerify(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("leaves=%d", n), func(b *testing.B) {
+			leaves := benchLeaves(n)
+			root := Root(leaves)
+			proof, err := Prove(leaves, n/2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !proof.Verify(root) {
+					b.Fatal("valid proof rejected")
+				}
+			}
+		})
+	}
+}

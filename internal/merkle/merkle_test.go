@@ -1,0 +1,209 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto"
+)
+
+func mkLeaves(n int) []crypto.Hash {
+	leaves := make([]crypto.Hash, n)
+	for i := range leaves {
+		leaves[i] = LeafHash([]byte(fmt.Sprintf("tx-%d", i)))
+	}
+	return leaves
+}
+
+func TestEmptyRootIsZero(t *testing.T) {
+	if !Root(nil).IsZero() {
+		t.Fatal("empty root is not zero")
+	}
+}
+
+func TestSingleLeafRoot(t *testing.T) {
+	leaves := mkLeaves(1)
+	if Root(leaves) != leaves[0] {
+		t.Fatal("single-leaf root should be the leaf itself")
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	for n := 2; n <= 9; n++ {
+		leaves := mkLeaves(n)
+		base := Root(leaves)
+		for i := range leaves {
+			mut := append([]crypto.Hash(nil), leaves...)
+			mut[i] = LeafHash([]byte("tampered"))
+			if Root(mut) == base {
+				t.Fatalf("n=%d: root unchanged after mutating leaf %d", n, i)
+			}
+		}
+	}
+}
+
+func TestRootDoesNotDependOnCallerSlice(t *testing.T) {
+	leaves := mkLeaves(5)
+	cp := append([]crypto.Hash(nil), leaves...)
+	_ = Root(leaves)
+	for i := range leaves {
+		if leaves[i] != cp[i] {
+			t.Fatal("Root mutated its input")
+		}
+	}
+}
+
+func TestProveVerifyAllSizesAllIndexes(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		leaves := mkLeaves(n)
+		root := Root(leaves)
+		for i := 0; i < n; i++ {
+			p, err := Prove(leaves, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !p.Verify(root) {
+				t.Fatalf("n=%d i=%d: valid proof rejected", n, i)
+			}
+			if !p.VerifyData(root, []byte(fmt.Sprintf("tx-%d", i))) {
+				t.Fatalf("n=%d i=%d: VerifyData rejected original payload", n, i)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	leaves := mkLeaves(8)
+	p, _ := Prove(leaves, 3)
+	other := Root(mkLeaves(9))
+	if p.Verify(other) {
+		t.Fatal("proof verified against wrong root")
+	}
+}
+
+func TestProofRejectsWrongData(t *testing.T) {
+	leaves := mkLeaves(8)
+	root := Root(leaves)
+	p, _ := Prove(leaves, 3)
+	if p.VerifyData(root, []byte("tx-4")) {
+		t.Fatal("proof verified wrong payload")
+	}
+}
+
+func TestProofTamperedSiblingRejected(t *testing.T) {
+	leaves := mkLeaves(16)
+	root := Root(leaves)
+	for i := 0; i < 16; i++ {
+		p, _ := Prove(leaves, i)
+		for j := range p.Siblings {
+			q := p.Clone()
+			q.Siblings[j] = LeafHash([]byte("evil"))
+			if q.Verify(root) {
+				t.Fatalf("i=%d: tampered sibling %d accepted", i, j)
+			}
+		}
+	}
+}
+
+func TestProofFlippedSideRejected(t *testing.T) {
+	leaves := mkLeaves(8)
+	root := Root(leaves)
+	p, _ := Prove(leaves, 2)
+	p.Lefts[0] = !p.Lefts[0]
+	if p.Verify(root) {
+		t.Fatal("flipped side accepted")
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	leaves := mkLeaves(4)
+	if _, err := Prove(leaves, -1); err == nil {
+		t.Fatal("expected error for negative index")
+	}
+	if _, err := Prove(leaves, 4); err == nil {
+		t.Fatal("expected error for index == len")
+	}
+}
+
+func TestNilAndMalformedProofRejected(t *testing.T) {
+	var p *Proof
+	if p.Verify(crypto.ZeroHash) {
+		t.Fatal("nil proof verified")
+	}
+	bad := &Proof{Siblings: make([]crypto.Hash, 2), Lefts: make([]bool, 1)}
+	if bad.Verify(crypto.ZeroHash) {
+		t.Fatal("length-mismatched proof verified")
+	}
+	if p.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func TestLeafInteriorDomainSeparation(t *testing.T) {
+	// An interior node value presented as a leaf must not verify: the
+	// prefixes make leaf and node hash spaces disjoint.
+	l0 := LeafHash([]byte("a"))
+	l1 := LeafHash([]byte("b"))
+	interior := crypto.Sum([]byte{0x01}, l0[:], l1[:])
+	if LeafHash(append(append([]byte{}, l0[:]...), l1[:]...)) == interior {
+		t.Fatal("leaf and interior hashing are not domain separated")
+	}
+}
+
+func TestProofCloneIndependent(t *testing.T) {
+	leaves := mkLeaves(8)
+	p, _ := Prove(leaves, 5)
+	c := p.Clone()
+	c.Siblings[0] = crypto.ZeroHash
+	c.Lefts[0] = !c.Lefts[0]
+	if p.Siblings[0] == crypto.ZeroHash {
+		t.Fatal("clone aliases siblings")
+	}
+}
+
+func TestPropertyProofRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, idx uint8) bool {
+		if len(payloads) == 0 {
+			return true
+		}
+		leaves := make([]crypto.Hash, len(payloads))
+		for i, d := range payloads {
+			leaves[i] = LeafHash(d)
+		}
+		root := Root(leaves)
+		i := int(idx) % len(payloads)
+		p, err := Prove(leaves, i)
+		if err != nil {
+			return false
+		}
+		return p.Verify(root) && p.VerifyData(root, payloads[i])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistinctLeavesDistinctRoots(t *testing.T) {
+	f := func(a, b [][]byte) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		same := len(a) == len(b)
+		if same {
+			for i := range a {
+				if string(a[i]) != string(b[i]) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			return true
+		}
+		return RootOfData(a) != RootOfData(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table 1: throughput", "Blockchain", "tps")
+	tbl.AddRow("Bitcoin", 7)
+	tbl.AddRow("Ethereum", 25)
+	tbl.Note("source: %s", "O'Keeffe [24]")
+	s := tbl.String()
+	for _, want := range []string{"Table 1", "Blockchain", "Bitcoin", "25", "note: source"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	// Columns aligned: the header and first row start identically.
+	lines := strings.Split(s, "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+	hdrIdx := strings.Index(lines[1], "tps")
+	rowIdx := strings.Index(lines[3], "7")
+	if hdrIdx < 0 || rowIdx < 0 || rowIdx < hdrIdx {
+		t.Fatalf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(2.5000)
+	tbl.AddRow(3.0)
+	tbl.AddRow(0.1234567)
+	var cells []string
+	for _, line := range strings.Split(tbl.String(), "\n") {
+		cells = append(cells, strings.TrimSpace(line))
+	}
+	joined := strings.Join(cells, "|")
+	if !strings.Contains(joined, "|2.5|") || !strings.Contains(joined, "|3|") || !strings.Contains(joined, "|0.1235|") {
+		t.Fatalf("float trimming wrong: %s", joined)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("Figure 10", "Diam(D)", "latency (Δ)")
+	h := f.AddSeries("Herlihy")
+	a := f.AddSeries("AC3WN")
+	for d := 2; d <= 4; d++ {
+		h.Add(float64(d), float64(2*d))
+		a.Add(float64(d), 4)
+	}
+	s := f.String()
+	for _, want := range []string{"Figure 10", "Herlihy", "AC3WN", "Diam(D)", "8", "4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("figure missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigureHandlesMissingPoints(t *testing.T) {
+	f := NewFigure("f", "x", "y")
+	a := f.AddSeries("a")
+	b := f.AddSeries("b")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(2, 200) // b has no x=1 sample
+	s := f.String()
+	if !strings.Contains(s, "200") || !strings.Contains(s, "10") {
+		t.Fatalf("missing data handling wrong:\n%s", s)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tl := &Timeline{Title: "Figure 9", Unit: "Δ"}
+	tl.Add(0, "SCw deployed")
+	tl.Add(1, "contracts deployed (parallel)")
+	tl.Add(4, "all redeemed")
+	s := tl.String()
+	if !strings.Contains(s, "SCw deployed") || !strings.Contains(s, "t=") {
+		t.Fatalf("timeline rendering wrong:\n%s", s)
+	}
+}

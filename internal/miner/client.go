@@ -1,0 +1,255 @@
+package miner
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Client is the application-layer client library of Section 2.1: an
+// end-user identity attached to one mining node for reads, that
+// multicasts transactions to the storage layer, tracks confirmation
+// depths, and manages a simple UTXO wallet.
+//
+// All waiting is callback-based on the simulator clock. Clients
+// resubmit transactions that fall out of the chain (reorgs, mempool
+// purges), so "submitted" eventually means "committed at depth d"
+// unless the client is halted — which is exactly the crash model the
+// paper's Section 1 failure scenario needs.
+type Client struct {
+	Key  *crypto.KeyPair
+	node *Node
+	net  *Network
+	sim  *sim.Sim
+	rng  *sim.RNG
+
+	nonce    uint64
+	reserved map[chain.OutPoint]bool
+	pollers  []*sim.Poller
+	halted   bool
+
+	// PollInterval controls how often watches re-check the node's
+	// view; defaults to a quarter block interval.
+	PollInterval sim.Time
+
+	// Resubmits counts transaction re-broadcasts (diagnostics).
+	Resubmits int
+}
+
+// NewClient attaches a fresh client identity to node i of the
+// network.
+func NewClient(net *Network, nodeIndex int, key *crypto.KeyPair) *Client {
+	n := net.Node(nodeIndex)
+	return &Client{
+		Key:          key,
+		node:         n,
+		net:          net,
+		sim:          net.Sim,
+		rng:          net.Sim.RNG().Fork(),
+		reserved:     make(map[chain.OutPoint]bool),
+		PollInterval: net.Params.BlockInterval / 4,
+	}
+}
+
+// Chain returns the attached node's chain view (reads only).
+func (c *Client) Chain() *chain.Chain { return c.node.Chain }
+
+// ChainID returns the id of the blockchain this client talks to.
+func (c *Client) ChainID() chain.ID { return c.net.Params.ID }
+
+// Halt models an end-user site crash: pending watches stop firing and
+// no further submissions happen until Restart.
+func (c *Client) Halt() {
+	c.halted = true
+	for _, p := range c.pollers {
+		p.Cancel()
+	}
+	c.pollers = nil
+}
+
+// Restart recovers a halted client. Watches must be re-established by
+// the caller (a recovering participant re-drives its protocol).
+func (c *Client) Restart() { c.halted = false }
+
+// Halted reports whether the client is down.
+func (c *Client) Halted() bool { return c.halted }
+
+// Submit multicasts a signed transaction to every live mining node,
+// modeling the paper's end-user-to-storage-layer message passing.
+func (c *Client) Submit(tx *chain.Tx) {
+	if c.halted || tx == nil {
+		return
+	}
+	for _, n := range c.net.Nodes {
+		n := n
+		c.sim.After(c.submitDelay(), func() {
+			if n.Alive() {
+				n.SubmitLocal(tx)
+			}
+		})
+	}
+}
+
+// submitDelay samples a small client-to-miner latency.
+func (c *Client) submitDelay() sim.Time {
+	return 1 + c.rng.Int63n(50)
+}
+
+// Balance sums the unreserved outputs the client owns at the tip.
+func (c *Client) Balance() vm.Amount {
+	var total vm.Amount
+	for op, out := range c.Chain().TipState().UTXOsOwnedBy(c.Key.Addr) {
+		if !c.reserved[op] {
+			total += out.Value
+		}
+	}
+	return total
+}
+
+// SelectFunds reserves unspent outputs totalling at least amount and
+// returns them with the change value. Reservations of already-spent
+// outputs are pruned first.
+func (c *Client) SelectFunds(amount vm.Amount) ([]chain.TxIn, vm.Amount, error) {
+	st := c.Chain().TipState()
+	for op := range c.reserved {
+		if _, live := st.UTXO(op); !live {
+			delete(c.reserved, op)
+		}
+	}
+	var ins []chain.TxIn
+	var total vm.Amount
+	for op, out := range st.UTXOsOwnedBy(c.Key.Addr) {
+		if c.reserved[op] {
+			continue
+		}
+		ins = append(ins, chain.TxIn{Prev: op})
+		total += out.Value
+		if total >= amount {
+			break
+		}
+	}
+	if total < amount {
+		return nil, 0, fmt.Errorf("miner: %s has %d available, needs %d", c.Key.Addr, total, amount)
+	}
+	for _, in := range ins {
+		c.reserved[in.Prev] = true
+	}
+	return ins, total - amount, nil
+}
+
+// changeOuts builds the change output list.
+func (c *Client) changeOuts(change vm.Amount) []chain.TxOut {
+	if change == 0 {
+		return nil
+	}
+	return []chain.TxOut{{Value: change, Owner: c.Key.Addr}}
+}
+
+// Transfer builds, signs and submits a payment of amount to to.
+func (c *Client) Transfer(to crypto.Address, amount vm.Amount) (*chain.Tx, error) {
+	ins, change, err := c.SelectFunds(amount)
+	if err != nil {
+		return nil, err
+	}
+	c.nonce++
+	outs := append([]chain.TxOut{{Value: amount, Owner: to}}, c.changeOuts(change)...)
+	tx := chain.NewTransfer(c.Key, c.nonce, ins, outs)
+	c.Submit(tx)
+	return tx, nil
+}
+
+// Deploy builds, signs and submits a contract deployment locking
+// value, returning the transaction and the contract's future address.
+func (c *Client) Deploy(contractType string, params []byte, value vm.Amount) (*chain.Tx, crypto.Address, error) {
+	var ins []chain.TxIn
+	var change vm.Amount
+	if value > 0 {
+		var err error
+		ins, change, err = c.SelectFunds(value)
+		if err != nil {
+			return nil, crypto.Address{}, err
+		}
+	}
+	c.nonce++
+	tx := chain.NewDeploy(c.Key, c.nonce, ins, c.changeOuts(change), contractType, params, value)
+	c.Submit(tx)
+	return tx, tx.ContractAddr(), nil
+}
+
+// Call builds, signs and submits a contract function call sending
+// value along.
+func (c *Client) Call(contract crypto.Address, fn string, args []byte, value vm.Amount) (*chain.Tx, error) {
+	var ins []chain.TxIn
+	var change vm.Amount
+	if value > 0 {
+		var err error
+		ins, change, err = c.SelectFunds(value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.nonce++
+	tx := chain.NewCall(c.Key, c.nonce, contract, fn, args, ins, c.changeOuts(change), value)
+	c.Submit(tx)
+	return tx, nil
+}
+
+// resubmitAfterPolls is how many unsuccessful polls a watch tolerates
+// before re-multicasting the transaction.
+const resubmitAfterPolls = 12
+
+// WhenTxAtDepth invokes fn once the transaction is on the canonical
+// chain buried at least depth blocks, resubmitting it if it drops out
+// of the chain meanwhile. The watch dies silently if the client is
+// halted (crash).
+func (c *Client) WhenTxAtDepth(tx *chain.Tx, depth int, fn func(blockHash crypto.Hash)) {
+	if c.halted {
+		return
+	}
+	id := tx.ID()
+	misses := 0
+	p := c.sim.Poll(c.PollInterval, func() bool {
+		b, _, found := c.Chain().FindTx(id)
+		if !found {
+			misses++
+			if misses%resubmitAfterPolls == 0 {
+				c.Resubmits++
+				c.Submit(tx)
+			}
+			return false
+		}
+		d, ok := c.Chain().DepthOf(b.Hash())
+		if !ok || d < depth {
+			return false
+		}
+		fn(b.Hash())
+		return true
+	})
+	c.pollers = append(c.pollers, p)
+}
+
+// WhenContract invokes fn once pred holds for the contract's state at
+// the given confirmation depth (depth 0 reads the tip). The predicate
+// sees a read-only contract snapshot.
+func (c *Client) WhenContract(addr crypto.Address, depth int, pred func(vm.Contract) bool, fn func()) {
+	if c.halted {
+		return
+	}
+	p := c.sim.Poll(c.PollInterval, func() bool {
+		ct, ok := c.Chain().ContractAtDepth(addr, depth)
+		if !ok || !pred(ct) {
+			return false
+		}
+		fn()
+		return true
+	})
+	c.pollers = append(c.pollers, p)
+}
+
+// ContractNow reads a contract's current state at the given depth.
+func (c *Client) ContractNow(addr crypto.Address, depth int) (vm.Contract, bool) {
+	return c.Chain().ContractAtDepth(addr, depth)
+}

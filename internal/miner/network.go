@@ -1,0 +1,98 @@
+package miner
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Network is one simulated blockchain network: a set of mining nodes
+// with identical genesis connected by their own p2p message layer.
+// The AC3WN protocol composes several Networks — the asset chains plus
+// one (or more, Section 5.2) witness networks.
+type Network struct {
+	Params chain.Params
+	Sim    *sim.Sim
+	P2P    *p2p.Network
+	Nodes  []*Node
+}
+
+// Config describes a blockchain network to build.
+type Config struct {
+	Params  chain.Params
+	Miners  int              // number of equal-share mining nodes
+	Latency p2p.LatencyModel // block/tx propagation delays
+	Alloc   chain.GenesisAlloc
+	// Registry configures deployable contract types; nil means none.
+	Registry *vm.Registry
+}
+
+// NewNetwork builds and starts a blockchain network. Every node gets
+// an equal hash-power share.
+func NewNetwork(s *sim.Sim, cfg Config) (*Network, error) {
+	if cfg.Miners <= 0 {
+		return nil, fmt.Errorf("miner: need at least one miner")
+	}
+	p2pNet := p2p.NewNetwork(s, cfg.Latency)
+	net := &Network{Params: cfg.Params, Sim: s, P2P: p2pNet}
+	share := 1.0 / float64(cfg.Miners)
+	rng := s.RNG().Fork()
+	for i := 0; i < cfg.Miners; i++ {
+		c, err := chain.NewChain(cfg.Params, cfg.Registry, cfg.Alloc)
+		if err != nil {
+			return nil, err
+		}
+		key := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+		n := NewNode(s, p2pNet, p2p.NodeID(i), c, key, share)
+		net.Nodes = append(net.Nodes, n)
+	}
+	return net, nil
+}
+
+// Start begins mining on every node.
+func (n *Network) Start() {
+	for _, node := range n.Nodes {
+		node.Start()
+	}
+}
+
+// Node returns the i-th mining node.
+func (n *Network) Node(i int) *Node { return n.Nodes[i] }
+
+// Height returns the canonical height at node 0 (convenience for
+// tests and experiments).
+func (n *Network) Height() uint64 { return n.Nodes[0].Chain.Height() }
+
+// Converged reports whether all live nodes agree on the canonical
+// tip.
+func (n *Network) Converged() bool {
+	var tip crypto.Hash
+	first := true
+	for _, node := range n.Nodes {
+		if !node.Alive() {
+			continue
+		}
+		h := node.Chain.Tip().Hash()
+		if first {
+			tip, first = h, false
+			continue
+		}
+		if h != tip {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalReorgs sums reorg counts across nodes.
+func (n *Network) TotalReorgs() int {
+	total := 0
+	for _, node := range n.Nodes {
+		total += node.Chain.Reorgs
+	}
+	return total
+}

@@ -1,0 +1,220 @@
+// Package miner implements the mining nodes of the storage layer
+// (Section 2.1): each node keeps its own view of the blockchain and a
+// mempool, mines blocks at a rate proportional to its hash-power
+// share, gossips blocks, resolves forks by longest chain, and serves
+// the client library end-users submit transactions through.
+package miner
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+)
+
+// Messages exchanged between nodes and clients.
+type (
+	// MsgTx multicasts a transaction to miners.
+	MsgTx struct{ Tx *chain.Tx }
+	// MsgBlock gossips a mined or adopted block.
+	MsgBlock struct{ Block *chain.Block }
+	// MsgGetBlock asks a peer for a block by hash (orphan recovery).
+	MsgGetBlock struct{ Hash crypto.Hash }
+)
+
+// maxTxFailures bounds how often a mempool transaction may fail
+// validation during block building before the node purges it.
+const maxTxFailures = 25
+
+// Node is one mining node.
+type Node struct {
+	ID    p2p.NodeID
+	Chain *chain.Chain
+	Key   *crypto.KeyPair
+
+	sim   *sim.Sim
+	net   *p2p.Network
+	rng   *sim.RNG
+	share float64 // fraction of total hash power
+
+	mempool  *mempool
+	orphans  map[crypto.Hash]*chain.Block // parent hash -> waiting block
+	alive    bool
+	mining   bool
+	interval sim.Time // network-wide mean block interval
+
+	// Mined counts blocks this node mined; the throughput and attack
+	// experiments read it.
+	Mined int
+}
+
+// NewNode creates a node with its own chain view. share is the node's
+// fraction of total network hash power; nodes with share 0 validate
+// and relay but never mine.
+func NewNode(s *sim.Sim, net *p2p.Network, id p2p.NodeID, c *chain.Chain, key *crypto.KeyPair, share float64) *Node {
+	n := &Node{
+		ID:       id,
+		Chain:    c,
+		Key:      key,
+		sim:      s,
+		net:      net,
+		rng:      s.RNG().Fork(),
+		share:    share,
+		mempool:  newMempool(),
+		orphans:  make(map[crypto.Hash]*chain.Block),
+		alive:    true,
+		interval: c.Params().BlockInterval,
+	}
+	net.Register(id, n.handle)
+	return n
+}
+
+// Start begins the mining loop. Idempotent.
+func (n *Node) Start() {
+	if n.mining || n.share <= 0 {
+		return
+	}
+	n.mining = true
+	n.scheduleMining()
+}
+
+// scheduleMining draws the node's next block-success time from an
+// exponential distribution with mean interval/share — a Poisson
+// process, so the memoryless draw stays valid across tip changes.
+func (n *Node) scheduleMining() {
+	mean := sim.Time(float64(n.interval) / n.share)
+	n.sim.After(n.rng.ExpTime(mean), func() {
+		if !n.alive || !n.mining {
+			return
+		}
+		n.mineOne()
+		n.scheduleMining()
+	})
+}
+
+// mineOne assembles, seals, adopts and gossips one block on the
+// node's current tip.
+func (n *Node) mineOne() {
+	txs := n.mempool.ordered()
+	b, invalid := n.Chain.BuildBlock(n.Key.Addr, n.sim.Now(), txs)
+	n.punishInvalid(invalid)
+	b.Header.Seal(n.rng.Uint64())
+	if _, err := n.Chain.AddBlock(b); err != nil {
+		// Racing our own view cannot happen in a sequential sim.
+		panic(fmt.Sprintf("miner: own block rejected: %v", err))
+	}
+	n.Mined++
+	for _, tx := range b.Txs {
+		n.mempool.remove(tx.ID())
+	}
+	n.net.Broadcast(n.ID, MsgBlock{Block: b})
+}
+
+// punishInvalid increments failure counts and purges transactions
+// that keep failing (e.g. double spends that lost their race).
+func (n *Node) punishInvalid(invalid []*chain.Tx) {
+	for _, tx := range invalid {
+		if n.mempool.fail(tx.ID()) > maxTxFailures {
+			n.mempool.remove(tx.ID())
+		}
+	}
+}
+
+// Crash stops the node (crash-stop): mining halts, messages are
+// dropped, the mempool is lost. The chain view (persistent storage)
+// survives.
+func (n *Node) Crash() {
+	n.alive = false
+	n.mining = false
+	n.mempool = newMempool()
+	n.net.Crash(n.ID)
+}
+
+// Recover restarts a crashed node and its mining loop. The node
+// catches up on the chain through normal gossip (orphan requests).
+func (n *Node) Recover() {
+	if n.alive {
+		return
+	}
+	n.alive = true
+	n.net.Recover(n.ID)
+	n.Start()
+}
+
+// Alive reports whether the node is running.
+func (n *Node) Alive() bool { return n.alive }
+
+// StopMining halts block production while keeping the node alive and
+// relaying (used to quiesce a network before grading experiment
+// outcomes).
+func (n *Node) StopMining() { n.mining = false }
+
+// handle processes a delivered message.
+func (n *Node) handle(from p2p.NodeID, payload any) {
+	if !n.alive {
+		return
+	}
+	switch m := payload.(type) {
+	case MsgTx:
+		n.acceptTx(m.Tx)
+	case MsgBlock:
+		n.acceptBlock(from, m.Block)
+	case MsgGetBlock:
+		if b, ok := n.Chain.Block(m.Hash); ok {
+			n.net.Send(n.ID, from, MsgBlock{Block: b})
+		}
+	}
+}
+
+// acceptTx admits a transaction to the mempool unless it is already
+// included on the canonical chain.
+func (n *Node) acceptTx(tx *chain.Tx) {
+	if tx == nil {
+		return
+	}
+	id := tx.ID()
+	if _, _, onChain := n.Chain.FindTx(id); onChain {
+		return
+	}
+	n.mempool.add(tx)
+}
+
+// acceptBlock validates and adopts a block, buffering orphans and
+// requesting their missing ancestors from the sender.
+func (n *Node) acceptBlock(from p2p.NodeID, b *chain.Block) {
+	if b == nil || n.Chain.HasBlock(b.Hash()) {
+		return
+	}
+	if !n.Chain.HasBlock(b.Header.Parent) {
+		n.orphans[b.Header.Parent] = b
+		n.net.Send(n.ID, from, MsgGetBlock{Hash: b.Header.Parent})
+		return
+	}
+	reorged, err := n.Chain.AddBlock(b)
+	if err != nil {
+		return // invalid block: ignore, as real nodes do
+	}
+	if reorged {
+		// Re-gossip adopted tips so late joiners and healed
+		// partitions converge.
+		n.net.Broadcast(n.ID, MsgBlock{Block: b})
+	}
+	// Retire included transactions from the mempool.
+	for _, tx := range b.Txs {
+		n.mempool.remove(tx.ID())
+	}
+	// An orphan waiting for this block can now be connected.
+	if child, ok := n.orphans[b.Hash()]; ok {
+		delete(n.orphans, b.Hash())
+		n.acceptBlock(from, child)
+	}
+}
+
+// SubmitLocal injects a transaction directly into this node's mempool
+// (used by clients attached to the node).
+func (n *Node) SubmitLocal(tx *chain.Tx) { n.acceptTx(tx) }
+
+// MempoolSize reports the number of pending transactions.
+func (n *Node) MempoolSize() int { return n.mempool.size() }

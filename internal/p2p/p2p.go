@@ -1,0 +1,151 @@
+// Package p2p simulates the message-passing layer of Section 2.1:
+// end-users multicast transactions to mining nodes, and miners gossip
+// blocks to each other, over links with configurable delay. Crash
+// failures, recoveries, and network partitions — the asynchronous-
+// environment hazards the paper's introduction motivates — are
+// injected here.
+package p2p
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a network endpoint (miner or client).
+type NodeID int
+
+// Handler consumes a delivered message.
+type Handler func(from NodeID, payload any)
+
+// LatencyModel samples a one-way link delay.
+type LatencyModel struct {
+	// Base is the minimum propagation delay.
+	Base sim.Time
+	// Jitter adds a uniform random extra in [0, Jitter).
+	Jitter sim.Time
+}
+
+// Sample draws a delay.
+func (l LatencyModel) Sample(rng *sim.RNG) sim.Time {
+	d := l.Base
+	if l.Jitter > 0 {
+		d += rng.Int63n(l.Jitter)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Network is a simulated broadcast network of registered nodes.
+type Network struct {
+	sim     *sim.Sim
+	rng     *sim.RNG
+	latency LatencyModel
+
+	handlers map[NodeID]Handler
+	order    []NodeID // registration order, for deterministic broadcast
+	crashed  map[NodeID]bool
+	group    map[NodeID]int // partition group; nodes in different groups cannot talk
+
+	// Sent and Delivered count messages for diagnostics.
+	Sent      uint64
+	Delivered uint64
+}
+
+// NewNetwork creates a network on the given simulator.
+func NewNetwork(s *sim.Sim, latency LatencyModel) *Network {
+	return &Network{
+		sim:      s,
+		rng:      s.RNG().Fork(),
+		latency:  latency,
+		handlers: make(map[NodeID]Handler),
+		crashed:  make(map[NodeID]bool),
+		group:    make(map[NodeID]int),
+	}
+}
+
+// Register attaches a node's handler. Registering an id twice panics.
+func (n *Network) Register(id NodeID, h Handler) {
+	if h == nil {
+		panic("p2p: nil handler")
+	}
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("p2p: node %d registered twice", id))
+	}
+	n.handlers[id] = h
+	n.order = append(n.order, id)
+}
+
+// Nodes returns the registered node ids in registration order.
+func (n *Network) Nodes() []NodeID {
+	return append([]NodeID(nil), n.order...)
+}
+
+// reachable reports whether a message from a to b would currently be
+// delivered (both alive, same partition group).
+func (n *Network) reachable(a, b NodeID) bool {
+	if n.crashed[a] || n.crashed[b] {
+		return false
+	}
+	return n.group[a] == n.group[b]
+}
+
+// Send delivers payload from 'from' to 'to' after a sampled delay.
+// Messages to crashed or partitioned-away nodes are dropped at send
+// time; messages in flight when the receiver crashes are dropped at
+// delivery time (no delayed replay — crash-stop semantics).
+func (n *Network) Send(from, to NodeID, payload any) {
+	n.Sent++
+	if !n.reachable(from, to) {
+		return
+	}
+	if _, ok := n.handlers[to]; !ok {
+		return
+	}
+	delay := n.latency.Sample(n.rng)
+	n.sim.After(delay, func() {
+		if n.crashed[to] || !n.reachable(from, to) {
+			return
+		}
+		n.Delivered++
+		n.handlers[to](from, payload)
+	})
+}
+
+// Broadcast sends payload from 'from' to every other registered node.
+func (n *Network) Broadcast(from NodeID, payload any) {
+	for _, id := range n.order {
+		if id == from {
+			continue
+		}
+		n.Send(from, id, payload)
+	}
+}
+
+// Crash stops a node: it receives nothing until Recover. In-flight
+// messages to it are lost.
+func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Recover restarts a crashed node. It resumes receiving new messages;
+// anything sent while it was down is gone (clients must re-poll or
+// resubmit, as real wallets do).
+func (n *Network) Recover(id NodeID) { delete(n.crashed, id) }
+
+// Crashed reports whether a node is currently down.
+func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// Partition splits the network into groups; nodes in different groups
+// cannot exchange messages. Nodes not mentioned stay in group 0.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.group = make(map[NodeID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			n.group[id] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.group = make(map[NodeID]int) }

@@ -1,0 +1,227 @@
+package p2p
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type recorder struct {
+	msgs []string
+}
+
+func (r *recorder) handler() Handler {
+	return func(from NodeID, payload any) {
+		r.msgs = append(r.msgs, payload.(string))
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 10})
+	var a, b recorder
+	net.Register(1, a.handler())
+	net.Register(2, b.handler())
+	net.Send(1, 2, "hello")
+	s.Run()
+	if len(b.msgs) != 1 || b.msgs[0] != "hello" {
+		t.Fatalf("b.msgs = %v", b.msgs)
+	}
+	if len(a.msgs) != 0 {
+		t.Fatal("sender received its own message")
+	}
+	if s.Now() != 10 {
+		t.Fatalf("delivery at %d, want 10", s.Now())
+	}
+}
+
+func TestBroadcastSkipsSender(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 5})
+	recs := make([]*recorder, 4)
+	for i := range recs {
+		recs[i] = &recorder{}
+		net.Register(NodeID(i), recs[i].handler())
+	}
+	net.Broadcast(0, "blk")
+	s.Run()
+	if len(recs[0].msgs) != 0 {
+		t.Fatal("broadcast delivered to sender")
+	}
+	for i := 1; i < 4; i++ {
+		if len(recs[i].msgs) != 1 {
+			t.Fatalf("node %d got %d messages", i, len(recs[i].msgs))
+		}
+	}
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	s := sim.New(7)
+	net := NewNetwork(s, LatencyModel{Base: 100, Jitter: 50})
+	var times []sim.Time
+	net.Register(1, func(NodeID, any) {})
+	net.Register(2, func(NodeID, any) { times = append(times, s.Now()) })
+	for i := 0; i < 200; i++ {
+		net.Send(1, 2, i)
+	}
+	s.Run()
+	if len(times) != 200 {
+		t.Fatalf("delivered %d, want 200", len(times))
+	}
+	for _, at := range times {
+		if at < 100 || at >= 150 {
+			t.Fatalf("delivery at %d outside [100,150)", at)
+		}
+	}
+}
+
+func TestCrashDropsMessages(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 10})
+	var b recorder
+	net.Register(1, func(NodeID, any) {})
+	net.Register(2, b.handler())
+
+	net.Crash(2)
+	net.Send(1, 2, "lost")
+	s.Run()
+	if len(b.msgs) != 0 {
+		t.Fatal("crashed node received a message")
+	}
+
+	net.Recover(2)
+	net.Send(1, 2, "after-recovery")
+	s.Run()
+	if len(b.msgs) != 1 || b.msgs[0] != "after-recovery" {
+		t.Fatalf("b.msgs = %v", b.msgs)
+	}
+}
+
+func TestInFlightMessageLostOnCrash(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 100})
+	var b recorder
+	net.Register(1, func(NodeID, any) {})
+	net.Register(2, b.handler())
+	net.Send(1, 2, "in-flight")
+	s.At(50, func() { net.Crash(2) })
+	s.Run()
+	if len(b.msgs) != 0 {
+		t.Fatal("message delivered to node that crashed mid-flight")
+	}
+}
+
+func TestCrashedSenderCannotSend(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 1})
+	var b recorder
+	net.Register(1, func(NodeID, any) {})
+	net.Register(2, b.handler())
+	net.Crash(1)
+	net.Send(1, 2, "ghost")
+	s.Run()
+	if len(b.msgs) != 0 {
+		t.Fatal("crashed node sent a message")
+	}
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 1})
+	var a, b, c recorder
+	net.Register(1, a.handler())
+	net.Register(2, b.handler())
+	net.Register(3, c.handler())
+
+	net.Partition([]NodeID{1}, []NodeID{2, 3})
+	net.Send(1, 2, "blocked")
+	net.Send(2, 3, "same-side")
+	s.Run()
+	if len(b.msgs) != 0 {
+		t.Fatal("message crossed the partition")
+	}
+	if len(c.msgs) != 1 {
+		t.Fatal("same-partition message not delivered")
+	}
+
+	net.Heal()
+	net.Send(1, 2, "healed")
+	s.Run()
+	if len(b.msgs) != 1 || b.msgs[0] != "healed" {
+		t.Fatalf("b.msgs = %v", b.msgs)
+	}
+}
+
+func TestPartitionAppliedToInFlight(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 100})
+	var b recorder
+	net.Register(1, func(NodeID, any) {})
+	net.Register(2, b.handler())
+	net.Send(1, 2, "x")
+	s.At(10, func() { net.Partition([]NodeID{1}, []NodeID{2}) })
+	s.Run()
+	if len(b.msgs) != 0 {
+		t.Fatal("in-flight message crossed a partition formed before delivery")
+	}
+}
+
+func TestRegisterTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{})
+	net.Register(1, func(NodeID, any) {})
+	net.Register(1, func(NodeID, any) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetwork(sim.New(1), LatencyModel{}).Register(1, nil)
+}
+
+func TestSendToUnregisteredIsDropped(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 1})
+	net.Register(1, func(NodeID, any) {})
+	net.Send(1, 99, "void") // must not panic
+	s.Run()
+}
+
+func TestCountersAdvance(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{Base: 1})
+	var b recorder
+	net.Register(1, func(NodeID, any) {})
+	net.Register(2, b.handler())
+	net.Send(1, 2, "x")
+	s.Run() // deliver before crashing
+	net.Crash(2)
+	net.Send(1, 2, "y")
+	s.Run()
+	if net.Sent != 2 || net.Delivered != 1 {
+		t.Fatalf("Sent=%d Delivered=%d, want 2/1", net.Sent, net.Delivered)
+	}
+}
+
+func TestNodesOrder(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, LatencyModel{})
+	for i := 5; i >= 1; i-- {
+		net.Register(NodeID(i), func(NodeID, any) {})
+	}
+	nodes := net.Nodes()
+	want := []NodeID{5, 4, 3, 2, 1}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes() = %v", nodes)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package sim provides a deterministic discrete-event simulation (DES)
+// engine used by every other package in this repository.
+//
+// All blockchain networks, miners, participants, and adversaries are
+// actors that schedule callbacks on a single virtual clock. The event
+// loop is strictly sequential and ordered by (time, sequence number),
+// so a run is a pure function of its configuration and RNG seed: there
+// is no wall-clock dependence and no data race by construction.
+//
+// Time is modeled in virtual milliseconds (an int64). One "Δ" in the
+// paper's analysis — enough time to publish a smart contract and have
+// the change publicly recognized — is a measured quantity on top of
+// this clock, not a constant baked in here.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in milliseconds since the start of the
+// simulation.
+type Time = int64
+
+// Millisecond, Second, Minute and Hour are convenient duration units
+// for the virtual clock.
+const (
+	Millisecond Time = 1
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among events at the same instant
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a deterministic discrete-event simulator. The zero value is
+// not usable; construct with New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	rng     *RNG
+	stopped bool
+
+	// Executed counts events dispatched so far; useful as a progress
+	// and runaway guard in tests.
+	Executed uint64
+
+	// MaxEvents aborts the run (via panic) when exceeded, guarding
+	// against accidentally unbounded simulations. Zero means no limit.
+	MaxEvents uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// Identical seeds and identical scheduling sequences produce identical
+// runs.
+func New(seed uint64) *Sim {
+	return &Sim{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Sim) RNG() *RNG { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it would make the clock non-monotonic.
+func (s *Sim) At(t Time, fn func()) {
+	if fn == nil {
+		panic("sim: At with nil fn")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling in the past (t=%d, now=%d)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.pending, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d milliseconds from now. Negative d panics.
+func (s *Sim) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative delay %d", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Stop makes the event loop return after the currently executing event
+// completes. Pending events remain queued and a later Run resumes them.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run dispatches events in (time, seq) order until no events remain or
+// Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for len(s.pending) > 0 && !s.stopped {
+		s.step()
+	}
+}
+
+// RunUntil dispatches events with at <= deadline, then sets the clock
+// to deadline if it has not advanced that far. Events scheduled beyond
+// the deadline remain pending.
+func (s *Sim) RunUntil(deadline Time) {
+	s.stopped = false
+	for len(s.pending) > 0 && !s.stopped && s.pending[0].at <= deadline {
+		s.step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// step executes the earliest pending event.
+func (s *Sim) step() {
+	e := heap.Pop(&s.pending).(*event)
+	if e.at > s.now {
+		s.now = e.at
+	}
+	s.Executed++
+	if s.MaxEvents > 0 && s.Executed > s.MaxEvents {
+		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at virtual time %d", s.MaxEvents, s.now))
+	}
+	e.fn()
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.pending) }
+
+// Poller repeatedly runs a condition until it reports done. It is the
+// DES equivalent of a client library polling a blockchain node.
+type Poller struct {
+	sim      *Sim
+	every    Time
+	fn       func() bool
+	canceled bool
+}
+
+// Poll schedules fn to run every interval until fn returns true or the
+// returned Poller is canceled. The first call happens after one
+// interval. Poll panics if interval <= 0.
+func (s *Sim) Poll(interval Time, fn func() bool) *Poller {
+	if interval <= 0 {
+		panic("sim: Poll with non-positive interval")
+	}
+	p := &Poller{sim: s, every: interval, fn: fn}
+	p.arm()
+	return p
+}
+
+func (p *Poller) arm() {
+	p.sim.After(p.every, func() {
+		if p.canceled {
+			return
+		}
+		if !p.fn() {
+			p.arm()
+		}
+	})
+}
+
+// Cancel stops future invocations of the poller's condition.
+func (p *Poller) Cancel() { p.canceled = true }

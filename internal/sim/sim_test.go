@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated at %d: got %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestAfterChainsAdvanceClock(t *testing.T) {
+	s := New(1)
+	var times []Time
+	s.After(10, func() {
+		times = append(times, s.Now())
+		s.After(5, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v, want [10 15]", times)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on scheduling in the past")
+		}
+	}()
+	s := New(1)
+	s.After(10, func() { s.At(5, func() {}) })
+	s.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative After")
+		}
+	}()
+	New(1).After(-1, func() {})
+}
+
+func TestNilFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil fn")
+		}
+	}()
+	New(1).At(0, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var ran []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		s.At(at, func() { ran = append(ran, at) })
+	}
+	s.RunUntil(12)
+	if len(ran) != 2 || s.Now() != 12 {
+		t.Fatalf("ran=%v now=%d, want 2 events and now=12", ran, s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(ran) != 4 || s.Now() != 20 {
+		t.Fatalf("after Run: ran=%v now=%d", ran, s.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := New(1)
+	s.RunUntil(100)
+	if s.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.At(1, func() { n++; s.Stop() })
+	s.At(2, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("executed %d events before stop, want 1", n)
+	}
+	s.Run() // resumes
+	if n != 2 {
+		t.Fatalf("executed %d events after resume, want 2", n)
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected MaxEvents panic")
+		}
+	}()
+	s := New(1)
+	s.MaxEvents = 10
+	var loop func()
+	loop = func() { s.After(1, loop) }
+	s.After(1, loop)
+	s.Run()
+}
+
+func TestPollStopsWhenDone(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.Poll(10, func() bool {
+		n++
+		return n == 3
+	})
+	s.Run()
+	if n != 3 {
+		t.Fatalf("poll ran %d times, want 3", n)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", s.Now())
+	}
+}
+
+func TestPollCancel(t *testing.T) {
+	s := New(1)
+	n := 0
+	p := s.Poll(10, func() bool { n++; return false })
+	s.At(35, func() { p.Cancel() })
+	s.RunUntil(200)
+	if n != 3 {
+		t.Fatalf("poll ran %d times, want 3 (canceled at t=35)", n)
+	}
+}
+
+func TestPollBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive poll interval")
+		}
+	}()
+	New(1).Poll(0, func() bool { return true })
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed uint64) []uint64 {
+		s := New(seed)
+		var out []uint64
+		var tick func()
+		tick = func() {
+			out = append(out, s.RNG().Uint64())
+			if len(out) < 100 {
+				s.After(s.RNG().Int63n(50)+1, tick)
+			}
+		}
+		s.After(1, tick)
+		s.Run()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at step %d", i)
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(600)
+	}
+	mean := sum / n
+	if math.Abs(mean-600) > 15 {
+		t.Fatalf("Exp mean = %v, want ~600", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	f := func(n uint8) bool {
+		m := int(n % 64)
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBytesDeterministic(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	NewRNG(5).Bytes(a)
+	NewRNG(5).Bytes(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Bytes not deterministic at %d", i)
+		}
+	}
+	allZero := true
+	for _, v := range a {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("Bytes produced all zeros")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(3)
+	f := r.Fork()
+	a := r.Uint64()
+	b := f.Uint64()
+	if a == b {
+		t.Fatal("forked stream mirrors parent")
+	}
+}
+
+func TestExpTimeAtLeastOne(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpTime(2); d < 1 {
+			t.Fatalf("ExpTime returned %d < 1", d)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package spv
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// fixture builds a single-view chain with a funded key and n mined
+// blocks, the transfer of interest mined in block 1.
+type fixture struct {
+	view *chain.Chain
+	key  *crypto.KeyPair
+	tx   *chain.Tx
+	rng  *sim.RNG
+	now  sim.Time
+}
+
+// fixtureTB is the slice of testing.TB the fixture needs, letting
+// tests and benchmarks share it.
+type fixtureTB interface {
+	Helper()
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+}
+
+func newFixture(t *testing.T, blocksAfterTx int) *fixture {
+	return newFixtureAny(t, blocksAfterTx)
+}
+
+func newFixtureAny(t fixtureTB, blocksAfterTx int) *fixture {
+	t.Helper()
+	rng := sim.NewRNG(42)
+	key := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+	params := chain.DefaultParams("validated")
+	params.DifficultyBits = 8
+	view, err := chain.NewChain(params, nil, chain.GenesisAlloc{key.Addr: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{view: view, key: key, rng: rng}
+
+	// The transaction of interest.
+	var prev chain.OutPoint
+	for op := range view.TipState().UTXOsOwnedBy(key.Addr) {
+		prev = op
+	}
+	f.tx = chain.NewTransfer(key, 1, []chain.TxIn{{Prev: prev}},
+		[]chain.TxOut{{Value: 1_000, Owner: key.Addr}})
+	f.mine(f.tx)
+	for i := 0; i < blocksAfterTx; i++ {
+		f.mine()
+	}
+	return f
+}
+
+func (f *fixture) mine(txs ...*chain.Tx) *chain.Block {
+	f.now += 10 * sim.Second
+	b, _ := f.view.BuildBlock(f.key.Addr, f.now, txs)
+	b.Header.Seal(f.rng.Uint64())
+	if _, err := f.view.AddBlock(b); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestBuildAndVerifyEvidence(t *testing.T) {
+	f := newFixture(t, 6)
+	cp := f.view.Genesis()
+	ev, err := Build(f.view, cp.Hash(), f.tx.ID(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := ev.Verify(cp.Header, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.ID() != f.tx.ID() {
+		t.Fatal("verified a different transaction")
+	}
+}
+
+func TestEvidenceEncodeDecodeRoundTrip(t *testing.T) {
+	f := newFixture(t, 6)
+	cp := f.view.Genesis()
+	ev, err := Build(f.view, cp.Hash(), f.tx.ID(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Verify(cp.Header, 6); err != nil {
+		t.Fatalf("decoded evidence fails verification: %v", err)
+	}
+}
+
+func TestEvidenceInsufficientDepth(t *testing.T) {
+	f := newFixture(t, 3)
+	cp := f.view.Genesis()
+	if _, err := Build(f.view, cp.Hash(), f.tx.ID(), 6); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("Build at depth 3 with min 6 succeeded: %v", err)
+	}
+	// Build at 3, verify demanding 6: must fail at the verifier too.
+	ev, err := Build(f.view, cp.Hash(), f.tx.ID(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Verify(cp.Header, 6); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("shallow evidence verified: %v", err)
+	}
+}
+
+func TestEvidenceBrokenLinkRejected(t *testing.T) {
+	f := newFixture(t, 6)
+	cp := f.view.Genesis()
+	ev, _ := Build(f.view, cp.Hash(), f.tx.ID(), 6)
+	// Remove a middle header: the chain no longer links.
+	ev.Headers = append(ev.Headers[:2], ev.Headers[3:]...)
+	if _, err := ev.Verify(cp.Header, 5); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("broken header chain verified: %v", err)
+	}
+}
+
+func TestEvidenceForgedPoWRejected(t *testing.T) {
+	f := newFixture(t, 6)
+	cp := f.view.Genesis()
+	ev, _ := Build(f.view, cp.Hash(), f.tx.ID(), 6)
+	// Forge the last header: re-link it correctly but skip sealing.
+	forged := *ev.Headers[len(ev.Headers)-1]
+	forged.Nonce = 0
+	for forged.CheckPoW() {
+		forged.Nonce++
+	}
+	ev.Headers[len(ev.Headers)-1] = &forged
+	if _, err := ev.Verify(cp.Header, 6); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("unsealed header accepted: %v", err)
+	}
+}
+
+func TestEvidenceWrongTxRejected(t *testing.T) {
+	f := newFixture(t, 6)
+	cp := f.view.Genesis()
+	ev, _ := Build(f.view, cp.Hash(), f.tx.ID(), 6)
+	// Swap in a different transaction's bytes.
+	other := chain.NewTransfer(f.key, 99, ev.decodeTxForTest(t).Ins, ev.decodeTxForTest(t).Outs)
+	ev.TxBytes = other.Encode()
+	if _, err := ev.Verify(cp.Header, 6); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("swapped tx verified: %v", err)
+	}
+}
+
+// decodeTxForTest decodes the evidence transaction, failing the test
+// on error.
+func (e *Evidence) decodeTxForTest(t *testing.T) *chain.Tx {
+	t.Helper()
+	tx, err := chain.DecodeTx(e.TxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestEvidenceWrongChainRejected(t *testing.T) {
+	f := newFixture(t, 6)
+	otherParams := chain.DefaultParams("other")
+	otherParams.DifficultyBits = 8
+	other, _ := chain.NewChain(otherParams, nil, nil)
+	ev, _ := Build(f.view, f.view.Genesis().Hash(), f.tx.ID(), 6)
+	if _, err := ev.Verify(other.Genesis().Header, 6); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("evidence verified against wrong chain checkpoint: %v", err)
+	}
+}
+
+func TestEvidenceFromMidChainCheckpoint(t *testing.T) {
+	f := newFixture(t, 0)
+	// Mine 3 more blocks, put a second tx in, confirm, checkpoint at
+	// block 2.
+	f.mine()
+	cpBlock, _ := f.view.CanonicalAt(2)
+	var prev chain.OutPoint
+	for op, o := range f.view.TipState().UTXOsOwnedBy(f.key.Addr) {
+		if o.Value == 1_000 {
+			prev = op
+		}
+	}
+	tx2 := chain.NewTransfer(f.key, 2, []chain.TxIn{{Prev: prev}},
+		[]chain.TxOut{{Value: 1_000, Owner: f.key.Addr}})
+	f.mine(tx2)
+	for i := 0; i < 4; i++ {
+		f.mine()
+	}
+	ev, err := Build(f.view, cpBlock.Hash(), tx2.ID(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Verify(cpBlock.Header, 4); err != nil {
+		t.Fatal(err)
+	}
+	// A tx *before* the checkpoint cannot be proven from it.
+	if _, err := Build(f.view, cpBlock.Hash(), f.tx.ID(), 0); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("pre-checkpoint tx proven: %v", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1, 2, 3}, make([]byte, 64)} {
+		if _, err := Decode(b); err == nil {
+			t.Fatal("garbage decoded")
+		}
+	}
+}
+
+func TestLightNodeTracksLongestChain(t *testing.T) {
+	f := newFixture(t, 6)
+	ln := NewLightNode(f.view.Genesis().Header)
+	hs, _ := f.view.HeadersFrom(f.view.Genesis().Hash())
+	for _, h := range hs {
+		if err := ln.AddHeader(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ln.Tip().Hash() != f.view.Tip().Hash() {
+		t.Fatal("light node tip diverges from full node")
+	}
+
+	// Inclusion proof for the tx of interest.
+	b, idx, _ := f.view.FindTx(f.tx.ID())
+	proof, _ := b.ProveTx(idx)
+	tx, err := ln.VerifyInclusion(b.Hash(), proof, f.tx.Encode(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.ID() != f.tx.ID() {
+		t.Fatal("light node verified wrong tx")
+	}
+}
+
+func TestLightNodeRejectsBadHeaders(t *testing.T) {
+	f := newFixture(t, 2)
+	ln := NewLightNode(f.view.Genesis().Header)
+	hs, _ := f.view.HeadersFrom(f.view.Genesis().Hash())
+
+	// Unknown parent.
+	if err := ln.AddHeader(hs[1]); !errors.Is(err, ErrUnknownHeader) {
+		t.Fatalf("orphan header accepted: %v", err)
+	}
+	// Bad PoW.
+	bad := *hs[0]
+	for bad.CheckPoW() {
+		bad.Nonce++
+	}
+	if err := ln.AddHeader(&bad); err == nil {
+		t.Fatal("unsealed header accepted")
+	}
+	// Wrong chain.
+	wrong := *hs[0]
+	wrong.ChainID = "elsewhere"
+	if err := ln.AddHeader(&wrong); err == nil {
+		t.Fatal("wrong-chain header accepted")
+	}
+	// Valid sequence.
+	for _, h := range hs {
+		if err := ln.AddHeader(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ln.AddHeader(hs[0]); err != nil {
+		t.Fatalf("duplicate header errored: %v", err)
+	}
+}
+
+func TestLightNodeDepthEnforced(t *testing.T) {
+	f := newFixture(t, 2)
+	ln := NewLightNode(f.view.Genesis().Header)
+	hs, _ := f.view.HeadersFrom(f.view.Genesis().Hash())
+	for _, h := range hs {
+		_ = ln.AddHeader(h)
+	}
+	b, idx, _ := f.view.FindTx(f.tx.ID())
+	proof, _ := b.ProveTx(idx)
+	if _, err := ln.VerifyInclusion(b.Hash(), proof, f.tx.Encode(), 6); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("depth-2 inclusion accepted at min 6: %v", err)
+	}
+}
+
+func TestStorageCostOrdering(t *testing.T) {
+	// The paper's scaling argument: full replica >> light node >>
+	// in-contract.
+	blocks, blockBytes, headerBytes := 100_000, 1_000_000, 100
+	full := StorageCost(StrategyFullReplica, blocks, blockBytes, headerBytes)
+	light := StorageCost(StrategyLightNode, blocks, blockBytes, headerBytes)
+	inc := StorageCost(StrategyInContract, blocks, blockBytes, headerBytes)
+	if !(full > light && light > inc) {
+		t.Fatalf("cost ordering violated: full=%d light=%d in-contract=%d", full, light, inc)
+	}
+	if StrategyFullReplica.String() == "" || Strategy(99).String() == "" {
+		t.Fatal("strategy names empty")
+	}
+}
+
+func TestVerifyNilSafety(t *testing.T) {
+	var e *Evidence
+	if _, err := e.Verify(nil, 0); !errors.Is(err, ErrBadEvidence) {
+		t.Fatal("nil evidence verified")
+	}
+	_ = vm.Amount(0) // keep vm import for fixture extensions
+}

@@ -1,0 +1,440 @@
+// Package swap implements the baseline atomic cross-chain swap
+// protocols the paper compares against: Nolan's two-party protocol
+// [23] and Herlihy's single-leader generalization [16], both built on
+// hashlock/timelock (HTLC) contracts.
+//
+// The implementation is event-driven on the simulated chains and
+// reproduces the two properties the paper's evaluation leans on:
+//
+//   - Sequential structure: a participant publishes its outgoing
+//     contracts only after all its incoming contracts are confirmed,
+//     and redemption propagates backwards from the leader — so an
+//     AC2T takes 2·Δ·Diam(D) end to end (Figure 8/10).
+//   - Timelock fragility: a participant that crashes after the secret
+//     is revealed but before redeeming loses its assets when the
+//     timelock expires (the Section 1 "case against the current
+//     proposals"), which the atomicity experiment measures.
+package swap
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/crypto"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/xchain"
+)
+
+// Event is a timeline entry for the Figure 8 phase rendering.
+type Event struct {
+	At    sim.Time
+	Label string
+	Edge  int // -1 for protocol-level events
+}
+
+// Config configures one Herlihy/Nolan swap run.
+type Config struct {
+	Graph        *graph.Graph
+	Participants []*xchain.Participant
+	// Leader creates the hash secret and anchors the sequential
+	// structure. Must be one of Participants.
+	Leader *xchain.Participant
+	// Delta is Δ: enough time to publish a contract (or change its
+	// state) and have the change publicly recognized. Timelocks are
+	// derived from it.
+	Delta sim.Time
+	// ConfirmDepth is how deep a contract must be before participants
+	// treat it as published.
+	ConfirmDepth int
+}
+
+// announceMsg is the off-chain "my contract is at this address"
+// message.
+type announceMsg struct {
+	EdgeIdx int
+	Addr    crypto.Address
+	TxID    crypto.Hash
+}
+
+// Run is one executing swap.
+type Run struct {
+	w   *xchain.World
+	cfg Config
+
+	secret    []byte
+	hashlock  crypto.Hash
+	start     sim.Time
+	layers    []int   // deployment layer per edge (BFS distance of source from leader)
+	timelocks []int64 // absolute timelock per edge
+
+	addrs     []crypto.Address // contract address per edge (zero until announced)
+	confirmed []bool           // deploy confirmed (at own view) per edge
+	deployed  map[*xchain.Participant]bool
+	redeeming map[*xchain.Participant]bool
+
+	Events []Event
+	// DeployPhaseEnd and RedeemPhaseEnd record Figure 8's two phase
+	// boundaries (when the last contract was confirmed / redeemed).
+	DeployPhaseEnd sim.Time
+	RedeemPhaseEnd sim.Time
+}
+
+// New validates the configuration and prepares a run.
+func New(w *xchain.World, cfg Config) (*Run, error) {
+	if cfg.Graph == nil || len(cfg.Participants) == 0 || cfg.Leader == nil {
+		return nil, fmt.Errorf("swap: incomplete config")
+	}
+	if ok, _ := cfg.Graph.HerlihyFeasible(); !ok {
+		return nil, fmt.Errorf("swap: graph is not single-leader feasible (Section 5.3)")
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("swap: Delta must be positive")
+	}
+	byAddr := make(map[crypto.Address]*xchain.Participant)
+	for _, p := range cfg.Participants {
+		byAddr[p.Addr()] = p
+	}
+	for _, v := range cfg.Graph.Participants {
+		if byAddr[v] == nil {
+			return nil, fmt.Errorf("swap: no participant object for vertex %s", v)
+		}
+	}
+	r := &Run{
+		w:         w,
+		cfg:       cfg,
+		addrs:     make([]crypto.Address, len(cfg.Graph.Edges)),
+		confirmed: make([]bool, len(cfg.Graph.Edges)),
+		deployed:  make(map[*xchain.Participant]bool),
+		redeeming: make(map[*xchain.Participant]bool),
+	}
+	return r, nil
+}
+
+// participant resolves a vertex address to its participant object.
+func (r *Run) participant(a crypto.Address) *xchain.Participant {
+	for _, p := range r.cfg.Participants {
+		if p.Addr() == a {
+			return p
+		}
+	}
+	return nil
+}
+
+// Start begins the swap at the current virtual time.
+func (r *Run) Start() {
+	r.start = r.w.Sim.Now()
+	r.secret = []byte(fmt.Sprintf("herlihy-secret-%d", r.cfg.Graph.Timestamp))
+	r.hashlock = crypto.Sum(r.secret)
+	r.computeSchedule()
+	for _, p := range r.cfg.Participants {
+		p := p
+		p.OnMessage(func(from *xchain.Participant, msg any) { r.onMessage(p, msg) })
+	}
+	// The leader deploys unconditionally; everyone else waits for
+	// their incoming contracts.
+	r.event(-1, "swap started")
+	r.deployOutgoing(r.cfg.Leader)
+	// Every sender arms a refund at its own timelocks.
+	for i, e := range r.cfg.Graph.Edges {
+		r.armRefund(i, e)
+	}
+}
+
+// computeSchedule derives deployment layers and timelocks: a contract
+// whose sender is at BFS distance k from the leader deploys in step k
+// and carries timelock start + (2·Diam − k + 1)·Δ, preserving
+// Nolan's t1 > t2 ordering with a safety margin of one Δ.
+func (r *Run) computeSchedule() {
+	g := r.cfg.Graph
+	dist := bfsDistances(g, r.cfg.Leader.Addr())
+	diam := g.Diameter()
+	r.layers = make([]int, len(g.Edges))
+	r.timelocks = make([]int64, len(g.Edges))
+	for i, e := range g.Edges {
+		k := dist[e.From]
+		if k < 0 {
+			// Unreachable from the leader (cannot happen for feasible
+			// graphs, which are weakly connected with a working
+			// leader); deploy last, defensively.
+			k = diam
+		}
+		r.layers[i] = k
+		r.timelocks[i] = int64(r.start) + int64(2*diam-k+1)*int64(r.cfg.Delta)
+	}
+}
+
+// bfsDistances computes directed BFS distance from src over the
+// graph's edges (-1 = unreachable).
+func bfsDistances(g *graph.Graph, src crypto.Address) map[crypto.Address]int {
+	dist := make(map[crypto.Address]int, len(g.Participants))
+	for _, p := range g.Participants {
+		dist[p] = -1
+	}
+	dist[src] = 0
+	queue := []crypto.Address{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.EdgesFrom(u) {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[u] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// event appends a timeline entry.
+func (r *Run) event(edge int, label string) {
+	r.Events = append(r.Events, Event{At: r.w.Sim.Now(), Label: label, Edge: edge})
+}
+
+// tellPeers sends an off-chain message to this swap's other
+// participants only (concurrent swaps must not cross-talk).
+func (r *Run) tellPeers(from *xchain.Participant, msg any) {
+	for _, q := range r.cfg.Participants {
+		if q != from {
+			from.Tell(q, msg)
+		}
+	}
+}
+
+// deployOutgoing publishes all of p's outgoing contracts (once).
+func (r *Run) deployOutgoing(p *xchain.Participant) {
+	if r.deployed[p] || p.Crashed() {
+		return
+	}
+	r.deployed[p] = true
+	for i, e := range r.cfg.Graph.Edges {
+		if e.From != p.Addr() {
+			continue
+		}
+		i, e := i, e
+		params := vm.EncodeGob(contracts.HTLCParams{
+			Recipient: e.To,
+			Hashlock:  r.hashlock,
+			Timelock:  r.timelocks[i],
+		})
+		client := p.Client(e.Chain)
+		tx, addr, err := client.Deploy(contracts.TypeHTLC, params, e.Asset)
+		if err != nil {
+			// Underfunded sender: the swap will abort via timelocks.
+			r.event(i, "deploy failed: "+err.Error())
+			continue
+		}
+		p.Deploys++
+		r.event(i, "deploy submitted")
+		client.WhenTxAtDepth(tx, r.cfg.ConfirmDepth, func(crypto.Hash) {
+			r.event(i, "deploy confirmed")
+			r.tellPeers(p, announceMsg{EdgeIdx: i, Addr: addr, TxID: tx.ID()})
+			r.onAnnounce(p, announceMsg{EdgeIdx: i, Addr: addr, TxID: tx.ID()})
+		})
+	}
+}
+
+// onMessage handles off-chain announcements at participant p.
+func (r *Run) onMessage(p *xchain.Participant, msg any) {
+	if m, ok := msg.(announceMsg); ok {
+		r.onAnnounce(p, m)
+	}
+}
+
+// onAnnounce records a confirmed contract and advances p's part of
+// the protocol: deploy once all incoming contracts exist; the leader
+// starts redemption once everything is deployed.
+func (r *Run) onAnnounce(p *xchain.Participant, m announceMsg) {
+	if r.addrs[m.EdgeIdx].IsZero() {
+		r.addrs[m.EdgeIdx] = m.Addr
+	}
+	r.confirmed[m.EdgeIdx] = true
+
+	if r.allConfirmed() && r.DeployPhaseEnd == 0 {
+		r.DeployPhaseEnd = r.w.Sim.Now()
+		r.event(-1, "all contracts deployed")
+	}
+
+	// Sequential rule: p deploys its outgoing edges once every
+	// incoming edge is confirmed.
+	if !r.deployed[p] && r.incomingConfirmed(p.Addr()) {
+		r.deployOutgoing(p)
+	}
+
+	// The leader starts the redemption phase when everything is
+	// deployed.
+	if p == r.cfg.Leader && r.allConfirmed() {
+		r.startRedemption(p, r.secret)
+	}
+}
+
+// incomingConfirmed reports whether every edge into u is confirmed.
+func (r *Run) incomingConfirmed(u crypto.Address) bool {
+	for i, e := range r.cfg.Graph.Edges {
+		if e.To == u && !r.confirmed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allConfirmed reports whether every edge's contract is confirmed.
+func (r *Run) allConfirmed() bool {
+	for _, c := range r.confirmed {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// startRedemption makes p redeem all its incoming contracts with the
+// secret, then watch for completion.
+func (r *Run) startRedemption(p *xchain.Participant, secret []byte) {
+	if r.redeeming[p] || p.Crashed() {
+		return
+	}
+	r.redeeming[p] = true
+	for i, e := range r.cfg.Graph.Edges {
+		if e.To != p.Addr() || r.addrs[i].IsZero() {
+			continue
+		}
+		i, e := i, e
+		client := p.Client(e.Chain)
+		if _, err := client.Call(r.addrs[i], contracts.FnRedeem, secret, 0); err == nil {
+			p.Calls++
+			r.event(i, "redeem submitted")
+		}
+		// Watch for the redeem to be publicly recognized (confirmed
+		// at depth d), matching the paper's Δ semantics.
+		client.WhenContract(r.addrs[i], r.cfg.ConfirmDepth, func(ct vm.Contract) bool {
+			h, ok := ct.(*contracts.HTLC)
+			return ok && h.State == contracts.StateRedeemed
+		}, func() {
+			r.event(i, "redeem confirmed")
+			r.RedeemPhaseEnd = r.w.Sim.Now()
+		})
+	}
+	// Non-leaders: also arm secret extraction for the participants
+	// upstream (they watch their outgoing contracts being redeemed).
+	r.armSecretWatches()
+}
+
+// armSecretWatches makes every sender watch its own outgoing
+// contracts; when one is redeemed, the sender extracts the secret
+// from the redeem transaction and starts redeeming its own incoming
+// edges. This is the backward propagation Herlihy's analysis counts:
+// the secret travels along counterparty edges, one Δ per hop, which
+// is exactly why the redemption phase costs Diam(D)·Δ (Figure 8). A
+// well-formed swap graph gives every participant at least one
+// outgoing edge, so everyone eventually learns s.
+func (r *Run) armSecretWatches() {
+	for i, e := range r.cfg.Graph.Edges {
+		if r.addrs[i].IsZero() {
+			continue
+		}
+		i, e := i, e
+		sender := r.participant(e.From)
+		if sender == nil || sender.Crashed() || r.redeeming[sender] {
+			continue
+		}
+		client := sender.Client(e.Chain)
+		// Senders act on *confirmed* redemptions (depth d): each
+		// secret hop therefore costs one Δ, which is what makes the
+		// redemption phase sequential in Diam(D).
+		client.WhenContract(r.addrs[i], r.cfg.ConfirmDepth, func(ct vm.Contract) bool {
+			h, ok := ct.(*contracts.HTLC)
+			return ok && h.State == contracts.StateRedeemed
+		}, func() {
+			if secret, ok := findRedeemSecret(client.Chain(), r.addrs[i]); ok {
+				r.startRedemption(sender, secret)
+			}
+		})
+	}
+}
+
+// armRefund schedules the sender's refund at the edge's timelock.
+func (r *Run) armRefund(i int, e graph.Edge) {
+	sender := r.participant(e.From)
+	if sender == nil {
+		return
+	}
+	refundAt := r.timelocks[i] + int64(r.cfg.Delta)/4
+	r.w.Sim.At(refundAt, func() {
+		if sender.Crashed() || r.addrs[i].IsZero() {
+			return
+		}
+		client := sender.Client(e.Chain)
+		ct, ok := client.ContractNow(r.addrs[i], 0)
+		if !ok {
+			return
+		}
+		if h, isHTLC := ct.(*contracts.HTLC); !isHTLC || h.State != contracts.StatePublished {
+			return
+		}
+		if _, err := client.Call(r.addrs[i], contracts.FnRefund, nil, 0); err == nil {
+			sender.Calls++
+			r.event(i, "refund submitted")
+		}
+	})
+}
+
+// findRedeemSecret scans the canonical chain (newest first) for the
+// redeem call on addr and returns its argument — how a participant
+// learns s once it is revealed on-chain.
+func findRedeemSecret(view *chain.Chain, addr crypto.Address) ([]byte, bool) {
+	for h := view.Height(); ; h-- {
+		b, ok := view.CanonicalAt(h)
+		if !ok {
+			break
+		}
+		for _, tx := range b.Txs {
+			if tx.Kind == chain.TxCall && tx.Contract == addr && tx.Fn == contracts.FnRedeem {
+				return tx.Args, true
+			}
+		}
+		if h == 0 {
+			break
+		}
+	}
+	return nil, false
+}
+
+// Addrs exposes the per-edge contract addresses (for grading).
+func (r *Run) Addrs() []crypto.Address { return append([]crypto.Address(nil), r.addrs...) }
+
+// Grade reads terminal contract states from ground-truth views and
+// counts the on-chain operations the swap paid for (N deploys plus N
+// redeem/refund calls — Section 6.2's baseline cost).
+func (r *Run) Grade() *xchain.Outcome {
+	out := xchain.GradeGraph(r.w, r.cfg.Graph, r.addrs)
+	out.Start = r.start
+	end := r.start
+	for _, ev := range r.Events {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+	out.End = end
+	perChain := make(map[chain.ID]map[crypto.Address]bool)
+	for i, e := range r.cfg.Graph.Edges {
+		if r.addrs[i].IsZero() {
+			continue
+		}
+		if perChain[e.Chain] == nil {
+			perChain[e.Chain] = make(map[crypto.Address]bool)
+		}
+		perChain[e.Chain][r.addrs[i]] = true
+	}
+	for id, set := range perChain {
+		d, c := xchain.CountContractOps(r.w.View(id), set)
+		out.Deploys += d
+		out.Calls += c
+	}
+	return out
+}
+
+// Secret exposes the leader's secret (tests verifying reveal flow).
+func (r *Run) Secret() []byte { return append([]byte(nil), r.secret...) }

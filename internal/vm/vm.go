@@ -1,0 +1,176 @@
+// Package vm defines the smart-contract runtime of the simulated
+// blockchains. Following the paper (Section 2.3, which adopts
+// Herlihy's notion of a contract as an object), a contract is a typed
+// object with a constructor, named functions that may alter its state,
+// and an asset balance locked at deployment. Miners execute contract
+// transactions at block application; contract state is versioned per
+// block by the chain package via Clone, making it reorg-safe.
+//
+// Contracts are Go types registered in a Registry by type name — the
+// moral equivalent of deploying bytecode. A deployment transaction
+// carries the type name plus encoded constructor parameters, so every
+// miner independently instantiates an identical object, exactly as
+// every EVM node runs the same initcode.
+package vm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/crypto"
+)
+
+// Amount is an asset quantity in the chain's smallest unit. It aliases
+// uint64 so chain and vm interoperate without conversions.
+type Amount = uint64
+
+// Msg carries the implicit parameters of a deployment or call message
+// (the paper's msg.sender and msg.val).
+type Msg struct {
+	Sender crypto.Address
+	Value  Amount
+}
+
+// Payout is an asset transfer out of a contract, produced by Ctx.Pay.
+// The chain package materializes payouts as new UTXOs owned by To.
+type Payout struct {
+	To    crypto.Address
+	Value Amount
+}
+
+// Ctx is the execution context handed to a contract function. It
+// exposes the chain environment (height, time), the message, and the
+// contract's balance, and collects payouts.
+type Ctx struct {
+	ChainID string
+	Self    crypto.Address // the contract's own address
+	Height  uint64         // height of the block being applied
+	Time    int64          // timestamp of the block being applied
+	Msg     Msg
+
+	balance Amount
+	payouts []Payout
+}
+
+// NewCtx builds an execution context. balance is the contract's
+// balance before this call (including Msg.Value already credited).
+func NewCtx(chainID string, self crypto.Address, height uint64, time int64, msg Msg, balance Amount) *Ctx {
+	return &Ctx{ChainID: chainID, Self: self, Height: height, Time: time, Msg: msg, balance: balance}
+}
+
+// Balance returns the contract's remaining balance.
+func (c *Ctx) Balance() Amount { return c.balance }
+
+// Pay transfers amt from the contract's balance to recipient. It fails
+// if the balance is insufficient or the recipient is the zero address
+// (which would burn assets).
+func (c *Ctx) Pay(to crypto.Address, amt Amount) error {
+	if to.IsZero() {
+		return fmt.Errorf("vm: payout to zero address")
+	}
+	if amt > c.balance {
+		return fmt.Errorf("vm: payout %d exceeds contract balance %d", amt, c.balance)
+	}
+	c.balance -= amt
+	c.payouts = append(c.payouts, Payout{To: to, Value: amt})
+	return nil
+}
+
+// Payouts returns the transfers queued by the executed function.
+func (c *Ctx) Payouts() []Payout { return c.payouts }
+
+// Contract is a deployed smart-contract object.
+type Contract interface {
+	// Type returns the registry type name this contract was deployed
+	// as.
+	Type() string
+	// Init is the constructor, run exactly once at deployment with the
+	// encoded constructor parameters from the deployment transaction.
+	Init(ctx *Ctx, params []byte) error
+	// Call executes a named function. Returning an error rejects the
+	// whole transaction: miners exclude failing calls from blocks, so
+	// on-chain inclusion implies success.
+	Call(ctx *Ctx, fn string, args []byte) error
+	// Clone returns a deep copy; the chain package clones contracts
+	// into each block's state overlay before mutation (copy-on-write).
+	Clone() Contract
+}
+
+// ErrUnknownFunction is a helper for contracts dispatching on fn.
+func ErrUnknownFunction(typ, fn string) error {
+	return fmt.Errorf("vm: contract %s has no function %q", typ, fn)
+}
+
+// Registry maps contract type names to factories. Each simulated
+// chain is configured with a registry; deploying an unregistered type
+// fails validation, like sending initcode a node refuses to run.
+type Registry struct {
+	factories map[string]func() Contract
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]func() Contract)}
+}
+
+// Register adds a contract type. Re-registering a name panics: it is
+// a programming error, not a runtime condition.
+func (r *Registry) Register(typ string, factory func() Contract) {
+	if typ == "" || factory == nil {
+		panic("vm: Register with empty type or nil factory")
+	}
+	if _, dup := r.factories[typ]; dup {
+		panic(fmt.Sprintf("vm: contract type %q registered twice", typ))
+	}
+	r.factories[typ] = factory
+}
+
+// New instantiates a contract of the given type.
+func (r *Registry) New(typ string) (Contract, error) {
+	f, ok := r.factories[typ]
+	if !ok {
+		return nil, fmt.Errorf("vm: unknown contract type %q", typ)
+	}
+	return f(), nil
+}
+
+// Types returns the registered type names, sorted.
+func (r *Registry) Types() []string {
+	out := make([]string, 0, len(r.factories))
+	for t := range r.factories {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ContractAddress derives the address of a contract deployed by the
+// transaction with the given id, as Ethereum derives CREATE addresses
+// from (sender, nonce).
+func ContractAddress(txID crypto.Hash) crypto.Address {
+	h := crypto.Sum([]byte("contract/"), txID[:])
+	var a crypto.Address
+	copy(a[:], h[:20])
+	return a
+}
+
+// EncodeGob serializes constructor parameters or call arguments. Gob
+// is deterministic for a fixed concrete type, which the chain relies
+// on when hashing transactions.
+func EncodeGob(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("vm: gob encode %T: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+// DecodeGob deserializes into v.
+func DecodeGob(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("vm: gob decode %T: %w", v, err)
+	}
+	return nil
+}

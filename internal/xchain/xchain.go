@@ -1,0 +1,393 @@
+// Package xchain is the cross-chain runtime the protocol drivers
+// (internal/swap for the Nolan/Herlihy baselines, internal/core for
+// AC3TW and AC3WN) build on: a World of independent simulated
+// blockchain networks sharing one virtual clock, Participants with a
+// client on every chain, an off-chain announcement bus (participants
+// exchanging contract locations, as any real swap does), and the
+// Outcome bookkeeping the experiments grade — including the
+// atomicity-violation check at the heart of the paper.
+package xchain
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/crypto"
+	"repro/internal/graph"
+	"repro/internal/miner"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// World is a set of blockchain networks on one simulator.
+type World struct {
+	Sim  *sim.Sim
+	Nets map[chain.ID]*miner.Network
+	ids  []chain.ID
+}
+
+// ChainSpec configures one chain of a world.
+type ChainSpec struct {
+	Params  chain.Params
+	Miners  int
+	Latency p2p.LatencyModel
+}
+
+// DefaultChainSpec is a convenient 3-miner chain with fast blocks for
+// protocol tests.
+func DefaultChainSpec(id chain.ID) ChainSpec {
+	params := chain.DefaultParams(id)
+	params.DifficultyBits = 6
+	params.BlockInterval = 10 * sim.Second
+	params.ConfirmDepth = 3
+	return ChainSpec{
+		Params:  params,
+		Miners:  3,
+		Latency: p2p.LatencyModel{Base: 100, Jitter: 200},
+	}
+}
+
+// Builder assembles a World with funded participants.
+type Builder struct {
+	s            *sim.Sim
+	specs        []ChainSpec
+	participants []*Participant
+	funding      map[string]map[chain.ID]vm.Amount
+	rng          *sim.RNG
+	msgLatency   sim.Time
+}
+
+// NewBuilder starts a world definition on a fresh simulator.
+func NewBuilder(seed uint64) *Builder {
+	s := sim.New(seed)
+	return &Builder{
+		s:          s,
+		funding:    make(map[string]map[chain.ID]vm.Amount),
+		rng:        s.RNG().Fork(),
+		msgLatency: 200 * sim.Millisecond,
+	}
+}
+
+// Sim exposes the simulator (for scheduling experiment events).
+func (b *Builder) Sim() *sim.Sim { return b.s }
+
+// Chain adds a blockchain network.
+func (b *Builder) Chain(spec ChainSpec) *Builder {
+	b.specs = append(b.specs, spec)
+	return b
+}
+
+// Participant creates a named participant with a fresh identity.
+func (b *Builder) Participant(name string) *Participant {
+	p := &Participant{
+		Name:    name,
+		Key:     crypto.MustGenerateKey(crypto.NewRandReader(b.rng.Uint64)),
+		clients: make(map[chain.ID]*miner.Client),
+	}
+	b.participants = append(b.participants, p)
+	return p
+}
+
+// Fund allocates genesis balance to a participant on a chain.
+func (b *Builder) Fund(p *Participant, id chain.ID, amount vm.Amount) *Builder {
+	m, ok := b.funding[p.Name]
+	if !ok {
+		m = make(map[chain.ID]vm.Amount)
+		b.funding[p.Name] = m
+	}
+	m[id] += amount
+	return b
+}
+
+// Build wires the networks, attaches a client per participant per
+// chain, starts mining on every chain, and returns the world.
+func (b *Builder) Build() (*World, error) {
+	w := &World{Sim: b.s, Nets: make(map[chain.ID]*miner.Network)}
+	for _, spec := range b.specs {
+		alloc := chain.GenesisAlloc{}
+		for _, p := range b.participants {
+			if amt := b.funding[p.Name][spec.Params.ID]; amt > 0 {
+				alloc[p.Key.Addr] = amt
+			}
+		}
+		reg := vm.NewRegistry()
+		contracts.RegisterAll(reg)
+		net, err := miner.NewNetwork(b.s, miner.Config{
+			Params:   spec.Params,
+			Miners:   spec.Miners,
+			Latency:  spec.Latency,
+			Alloc:    alloc,
+			Registry: reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xchain: chain %s: %w", spec.Params.ID, err)
+		}
+		net.Start()
+		w.Nets[spec.Params.ID] = net
+		w.ids = append(w.ids, spec.Params.ID)
+	}
+	bus := &Bus{s: b.s, latency: b.msgLatency}
+	for i, p := range b.participants {
+		p.world = w
+		p.bus = bus
+		bus.members = append(bus.members, p)
+		for _, id := range w.ids {
+			p.clients[id] = miner.NewClient(w.Nets[id], i%len(w.Nets[id].Nodes), p.Key)
+		}
+	}
+	return w, nil
+}
+
+// Chains returns the world's chain ids in creation order.
+func (w *World) Chains() []chain.ID { return append([]chain.ID(nil), w.ids...) }
+
+// Net returns a chain's network.
+func (w *World) Net(id chain.ID) *miner.Network { return w.Nets[id] }
+
+// View returns node 0's chain view — the "ground truth" observers
+// grade outcomes against after the network quiesces.
+func (w *World) View(id chain.ID) *chain.Chain { return w.Nets[id].Node(0).Chain }
+
+// RunUntil advances virtual time.
+func (w *World) RunUntil(t sim.Time) { w.Sim.RunUntil(t) }
+
+// RunFor advances virtual time by d.
+func (w *World) RunFor(d sim.Time) { w.Sim.RunUntil(w.Sim.Now() + d) }
+
+// StopMining halts block production on every chain while keeping
+// nodes alive and relaying (used to quiesce before grading).
+func (w *World) StopMining() {
+	for _, net := range w.Nets {
+		for _, n := range net.Nodes {
+			n.StopMining()
+		}
+	}
+}
+
+// Participant is an end-user taking part in AC2Ts: one identity, one
+// client per chain, an off-chain inbox, and crash-stop semantics.
+type Participant struct {
+	Name string
+	Key  *crypto.KeyPair
+
+	world   *World
+	bus     *Bus
+	clients map[chain.ID]*miner.Client
+	inbox   func(from *Participant, msg any)
+	crashed bool
+
+	// Deploys and Calls count the on-chain operations this
+	// participant paid for (the Section 6.2 cost model).
+	Deploys int
+	Calls   int
+}
+
+// Client returns the participant's client on a chain.
+func (p *Participant) Client(id chain.ID) *miner.Client {
+	c, ok := p.clients[id]
+	if !ok {
+		panic(fmt.Sprintf("xchain: %s has no client for chain %s", p.Name, id))
+	}
+	return c
+}
+
+// Addr is the participant's identity address (same on every chain).
+func (p *Participant) Addr() crypto.Address { return p.Key.Addr }
+
+// Crash stops the participant: all chain watches are canceled, the
+// inbox goes deaf, submissions stop. On-chain state is unaffected —
+// which is exactly why HTLC timelocks expire against crashed
+// participants while AC3WN contracts wait for them.
+func (p *Participant) Crash() {
+	p.crashed = true
+	for _, c := range p.clients {
+		c.Halt()
+	}
+}
+
+// Recover restores a crashed participant. The protocol driver must
+// re-arm its watches (protocol resume logic).
+func (p *Participant) Recover() {
+	p.crashed = false
+	for _, c := range p.clients {
+		c.Restart()
+	}
+}
+
+// Crashed reports whether the participant is down.
+func (p *Participant) Crashed() bool { return p.crashed }
+
+// OnMessage installs the off-chain inbox handler.
+func (p *Participant) OnMessage(h func(from *Participant, msg any)) { p.inbox = h }
+
+// Announce sends an off-chain message to every other participant
+// (contract locations, abort notices — the coordination any real swap
+// does over the internet).
+func (p *Participant) Announce(msg any) {
+	if p.crashed {
+		return
+	}
+	p.bus.broadcast(p, msg)
+}
+
+// Tell sends an off-chain message to one participant.
+func (p *Participant) Tell(to *Participant, msg any) {
+	if p.crashed {
+		return
+	}
+	p.bus.send(p, to, msg)
+}
+
+// Bus is the off-chain message channel between participants.
+type Bus struct {
+	s       *sim.Sim
+	latency sim.Time
+	members []*Participant
+}
+
+func (b *Bus) send(from, to *Participant, msg any) {
+	b.s.After(b.latency, func() {
+		if to.crashed || to.inbox == nil {
+			return
+		}
+		to.inbox(from, msg)
+	})
+}
+
+func (b *Bus) broadcast(from *Participant, msg any) {
+	for _, m := range b.members {
+		if m != from {
+			b.send(from, m, msg)
+		}
+	}
+}
+
+// EdgeOutcome grades one sub-transaction after a run.
+type EdgeOutcome struct {
+	Edge  graph.Edge
+	State contracts.SwapState // P (stuck), RD, or RF
+	// Deployed reports whether the asset contract ever appeared
+	// on-chain.
+	Deployed bool
+}
+
+// Outcome grades a whole AC2T run.
+type Outcome struct {
+	Edges []EdgeOutcome
+	// Start/End bound the run; End is when the last contract reached
+	// a terminal state (or the observation deadline).
+	Start, End sim.Time
+	// Deploys/Calls total the on-chain operations across all
+	// participants (fee accounting, Section 6.2).
+	Deploys, Calls int
+}
+
+// Committed reports all-redeemed.
+func (o *Outcome) Committed() bool {
+	if len(o.Edges) == 0 {
+		return false
+	}
+	for _, e := range o.Edges {
+		if e.State != contracts.StateRedeemed {
+			return false
+		}
+	}
+	return true
+}
+
+// Aborted reports all-refunded-or-never-deployed.
+func (o *Outcome) Aborted() bool {
+	if len(o.Edges) == 0 {
+		return false
+	}
+	for _, e := range o.Edges {
+		if e.Deployed && e.State != contracts.StateRefunded {
+			return false
+		}
+	}
+	return true
+}
+
+// AtomicityViolated reports the all-or-nothing failure the paper is
+// about: some contract redeemed while another refunded (or stuck
+// forever). A mix of RD and RF among deployed contracts is the hard
+// violation; Pending contracts are graded by the caller's deadline
+// semantics.
+func (o *Outcome) AtomicityViolated() bool {
+	rd, rf := 0, 0
+	for _, e := range o.Edges {
+		switch {
+		case e.State == contracts.StateRedeemed:
+			rd++
+		case e.Deployed && e.State == contracts.StateRefunded:
+			rf++
+		}
+	}
+	return rd > 0 && rf > 0
+}
+
+// Latency returns End-Start.
+func (o *Outcome) Latency() sim.Time { return o.End - o.Start }
+
+// GradeGraph reads the terminal states of all asset contracts of an
+// AC2T from ground-truth chain views. addrs maps edge index to the
+// contract address (zero address = never announced/deployed).
+func GradeGraph(w *World, g *graph.Graph, addrs []crypto.Address) *Outcome {
+	out := &Outcome{}
+	for i, e := range g.Edges {
+		eo := EdgeOutcome{Edge: e}
+		if i < len(addrs) && !addrs[i].IsZero() {
+			view := w.View(e.Chain)
+			if ct, ok := view.TipState().Contract(addrs[i]); ok {
+				eo.Deployed = true
+				eo.State = swapStateOf(ct)
+			}
+		}
+		out.Edges = append(out.Edges, eo)
+	}
+	return out
+}
+
+// CountContractOps scans a chain view's canonical blocks and counts
+// deployments of and calls to the given contracts. Because miners
+// exclude failing transactions, these are exactly the operations
+// participants paid fees for — the quantity Section 6.2's cost model
+// is about.
+func CountContractOps(view *chain.Chain, addrs map[crypto.Address]bool) (deploys, calls int) {
+	for h := uint64(0); h <= view.Height(); h++ {
+		b, ok := view.CanonicalAt(h)
+		if !ok {
+			continue
+		}
+		for _, tx := range b.Txs {
+			switch tx.Kind {
+			case chain.TxDeploy:
+				if addrs[tx.ContractAddr()] {
+					deploys++
+				}
+			case chain.TxCall:
+				if addrs[tx.Contract] {
+					calls++
+				}
+			}
+		}
+	}
+	return deploys, calls
+}
+
+// swapStateOf extracts the Algorithm 1 state from any of the asset
+// contract types.
+func swapStateOf(ct vm.Contract) contracts.SwapState {
+	switch c := ct.(type) {
+	case *contracts.HTLC:
+		return c.State
+	case *contracts.PermissionlessSC:
+		return c.State
+	case *contracts.CentralizedSC:
+		return c.State
+	default:
+		return contracts.StatePublished
+	}
+}

@@ -1,0 +1,206 @@
+package xchain
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/crypto"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func buildTwoChainWorld(t *testing.T, seed uint64) (*World, *Participant, *Participant) {
+	t.Helper()
+	b := NewBuilder(seed)
+	alice := b.Participant("alice")
+	bob := b.Participant("bob")
+	b.Chain(DefaultChainSpec("c1"))
+	b.Chain(DefaultChainSpec("c2"))
+	b.Fund(alice, "c1", 100_000)
+	b.Fund(bob, "c2", 100_000)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, alice, bob
+}
+
+func TestBuilderWiresClientsAndFunding(t *testing.T) {
+	w, alice, bob := buildTwoChainWorld(t, 1)
+	if len(w.Chains()) != 2 {
+		t.Fatalf("chains = %v", w.Chains())
+	}
+	if alice.Client("c1").Balance() != 100_000 {
+		t.Fatalf("alice c1 balance = %d", alice.Client("c1").Balance())
+	}
+	if alice.Client("c2").Balance() != 0 {
+		t.Fatal("alice funded on the wrong chain")
+	}
+	if bob.Client("c2").Balance() != 100_000 {
+		t.Fatal("bob not funded")
+	}
+	// Mining started.
+	w.RunUntil(5 * sim.Minute)
+	if w.View("c1").Height() == 0 || w.View("c2").Height() == 0 {
+		t.Fatal("chains not mining")
+	}
+}
+
+func TestParticipantClientPanicsOnUnknownChain(t *testing.T) {
+	_, alice, _ := buildTwoChainWorld(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown chain")
+		}
+	}()
+	alice.Client("nope")
+}
+
+func TestCrashHaltsClientsAndBusAndRecoverRestores(t *testing.T) {
+	w, alice, bob := buildTwoChainWorld(t, 3)
+	got := 0
+	bob.OnMessage(func(from *Participant, msg any) { got++ })
+
+	alice.Tell(bob, "hello")
+	w.RunFor(sim.Second)
+	if got != 1 {
+		t.Fatalf("got %d messages, want 1", got)
+	}
+
+	bob.Crash()
+	alice.Tell(bob, "lost")
+	alice.Announce("lost too")
+	w.RunFor(sim.Second)
+	if got != 1 {
+		t.Fatal("crashed participant received messages")
+	}
+	if !bob.Client("c2").Halted() {
+		t.Fatal("crash did not halt clients")
+	}
+	// Crashed participants cannot send either.
+	bob.Tell(alice, "ghost")
+
+	bob.Recover()
+	alice.Tell(bob, "back")
+	w.RunFor(sim.Second)
+	if got != 2 {
+		t.Fatalf("got %d after recovery, want 2", got)
+	}
+	if !alice.Crashed() == false && bob.Crashed() {
+		t.Fatal("crash state wrong")
+	}
+}
+
+func TestAnnounceReachesAllOthers(t *testing.T) {
+	b := NewBuilder(4)
+	p1 := b.Participant("p1")
+	p2 := b.Participant("p2")
+	p3 := b.Participant("p3")
+	b.Chain(DefaultChainSpec("c"))
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2, got3 int
+	p2.OnMessage(func(*Participant, any) { got2++ })
+	p3.OnMessage(func(*Participant, any) { got3++ })
+	p1.OnMessage(func(*Participant, any) { t.Fatal("sender received own broadcast") })
+	p1.Announce("x")
+	w.RunFor(sim.Second)
+	if got2 != 1 || got3 != 1 {
+		t.Fatalf("got2=%d got3=%d", got2, got3)
+	}
+}
+
+func TestOutcomeGrading(t *testing.T) {
+	e := func(st contracts.SwapState, deployed bool) EdgeOutcome {
+		return EdgeOutcome{State: st, Deployed: deployed}
+	}
+	cases := []struct {
+		name               string
+		edges              []EdgeOutcome
+		committed, aborted bool
+		violated           bool
+	}{
+		{"all redeemed", []EdgeOutcome{e(contracts.StateRedeemed, true), e(contracts.StateRedeemed, true)}, true, false, false},
+		{"all refunded", []EdgeOutcome{e(contracts.StateRefunded, true), e(contracts.StateRefunded, true)}, false, true, false},
+		{"mixed = violation", []EdgeOutcome{e(contracts.StateRedeemed, true), e(contracts.StateRefunded, true)}, false, false, true},
+		{"pending is neither", []EdgeOutcome{e(contracts.StatePublished, true), e(contracts.StateRedeemed, true)}, false, false, false},
+		{"undeployed + refunded = aborted", []EdgeOutcome{e(contracts.StatePublished, false), e(contracts.StateRefunded, true)}, false, true, false},
+		{"empty", nil, false, false, false},
+	}
+	for _, c := range cases {
+		out := &Outcome{Edges: c.edges}
+		if out.Committed() != c.committed || out.Aborted() != c.aborted || out.AtomicityViolated() != c.violated {
+			t.Errorf("%s: committed=%v aborted=%v violated=%v", c.name,
+				out.Committed(), out.Aborted(), out.AtomicityViolated())
+		}
+	}
+	o := &Outcome{Start: 100, End: 350}
+	if o.Latency() != 250 {
+		t.Fatalf("latency = %d", o.Latency())
+	}
+}
+
+func TestCountContractOps(t *testing.T) {
+	w, alice, _ := buildTwoChainWorld(t, 5)
+	client := alice.Client("c1")
+	// Deploy an HTLC and redeem it.
+	params := vm.EncodeGob(contracts.HTLCParams{
+		Recipient: alice.Addr(),
+		Hashlock:  crypto.Sum([]byte("s")),
+		Timelock:  int64(2 * sim.Hour),
+	})
+	tx, addr, err := client.Deploy(contracts.TypeHTLC, params, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	client.WhenTxAtDepth(tx, 2, func(h crypto.Hash) {
+		if _, err := client.Call(addr, contracts.FnRedeem, []byte("s"), 0); err != nil {
+			t.Errorf("redeem: %v", err)
+		}
+		done = true
+	})
+	w.RunUntil(30 * sim.Minute)
+	if !done {
+		t.Fatal("deploy never confirmed")
+	}
+	d, c := CountContractOps(w.View("c1"), map[crypto.Address]bool{addr: true})
+	if d != 1 || c != 1 {
+		t.Fatalf("ops = %d deploys, %d calls; want 1/1", d, c)
+	}
+	// Unrelated contracts are not counted.
+	d, c = CountContractOps(w.View("c1"), map[crypto.Address]bool{{9, 9}: true})
+	if d != 0 || c != 0 {
+		t.Fatalf("phantom ops counted: %d/%d", d, c)
+	}
+}
+
+func TestGradeGraphHandlesMissingContracts(t *testing.T) {
+	w, alice, bob := buildTwoChainWorld(t, 6)
+	g, err := graph.TwoParty(1, alice.Addr(), bob.Addr(), 1_000, "c1", 2_000, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing deployed: no assets ever moved, which grades as a clean
+	// abort (the nothing side of all-or-nothing), never as commit or
+	// violation.
+	out := GradeGraph(w, g, make([]crypto.Address, 2))
+	if out.Committed() || out.AtomicityViolated() {
+		t.Fatalf("empty grading misjudged: %+v", out.Edges)
+	}
+	if !out.Aborted() {
+		t.Fatal("never-started AC2T should grade as aborted")
+	}
+	for _, e := range out.Edges {
+		if e.Deployed {
+			t.Fatal("phantom deployment")
+		}
+	}
+	// A shorter address slice than edges must not panic.
+	_ = GradeGraph(w, g, nil)
+	_ = chain.ID("c1") // keep chain import meaningful
+}
