@@ -85,3 +85,12 @@ func BenchmarkComplexGraphs(b *testing.B) {
 func BenchmarkScalability(b *testing.B) {
 	runExperiment(b, bench.Scale)
 }
+
+// BenchmarkEngineLoad runs the sharded orchestration engine's
+// throughput-under-load experiment: a sustained mixed AC2T stream
+// (commits, aborts, crash-recovery, decision races) across parallel
+// shard worlds, asserting zero atomicity violations and near-linear
+// shard scaling.
+func BenchmarkEngineLoad(b *testing.B) {
+	runExperiment(b, bench.EngineLoad)
+}

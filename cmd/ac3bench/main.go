@@ -7,7 +7,7 @@
 //	ac3bench [-seed N] [-experiment id] [-diam N] [-runs N]
 //
 // Experiment ids: fig8, fig9, fig10, cost, witness, table1,
-// atomicity, complex, scale, all (default).
+// atomicity, complex, scale, engine, all (default).
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed (runs are deterministic per seed)")
-	experiment := flag.String("experiment", "all", "which experiment to run: fig8|fig9|fig10|cost|witness|table1|atomicity|complex|scale|all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig8|fig9|fig10|cost|witness|table1|atomicity|complex|scale|engine|all")
 	maxDiam := flag.Int("diam", 8, "maximum graph diameter for the fig10 sweep")
 	runs := flag.Int("runs", 5, "runs per scenario for the atomicity experiment")
 	flag.Parse()
@@ -45,6 +45,8 @@ func main() {
 		results = append(results, bench.Complex(*seed))
 	case "scale":
 		results = append(results, bench.Scale(*seed))
+	case "engine":
+		results = append(results, bench.EngineLoad(*seed))
 	case "all":
 		results = bench.All(*seed)
 	default:

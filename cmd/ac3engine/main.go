@@ -1,0 +1,144 @@
+// Command ac3engine runs a high-throughput AC2T workload on the
+// sharded orchestration engine and prints machine-readable JSON
+// aggregate results to stdout.
+//
+// Usage:
+//
+//	ac3engine [-shards N] [-txs N] [-seed N] [-workers N]
+//	          [-protocol ac3wn|ac3tw|htlc] [-arrival sec] [-inflight N]
+//	          [-timeout min] [-chains N] [-mix commit,abort,crash,race]
+//	          [-sizes 2:6,3:3,4:1] [-progress]
+//
+// The run is deterministic: the same flags always produce
+// byte-identical JSON aggregates, regardless of worker scheduling.
+// Wall-clock diagnostics go to stderr so stdout stays parseable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+func main() {
+	shards := flag.Int("shards", 8, "number of independent simulation shards")
+	txs := flag.Int("txs", 1000, "total AC2Ts across all shards")
+	seed := flag.Uint64("seed", 42, "master seed (results are a pure function of it)")
+	workers := flag.Int("workers", 0, "concurrent shard executors (0 = min(shards, GOMAXPROCS))")
+	protocol := flag.String("protocol", "ac3wn", "protocol: ac3wn|ac3tw|htlc")
+	arrival := flag.Float64("arrival", 20, "mean AC2T interarrival per shard, virtual seconds")
+	inflight := flag.Int("inflight", 8, "max concurrent AC2Ts per shard (backpressure cap)")
+	timeout := flag.Float64("timeout", 45, "per-transaction grading deadline, virtual minutes")
+	chains := flag.Int("chains", 2, "asset chains per shard world (plus one witness chain)")
+	mix := flag.String("mix", "7,2,1,1", "scenario weights: commit,abort,crash,race")
+	sizes := flag.String("sizes", "2:6,3:3,4:1", "graph size distribution as size:weight,...")
+	progress := flag.Bool("progress", false, "report live progress to stderr")
+	flag.Parse()
+
+	wl := engine.DefaultWorkload()
+	wl.Protocol = engine.Protocol(*protocol)
+	wl.Txs = *txs
+	wl.ArrivalEvery = sim.Time(*arrival * float64(sim.Second))
+	wl.MaxInFlight = *inflight
+	wl.TxTimeout = sim.Time(*timeout * float64(sim.Minute))
+	wl.AssetChains = *chains
+
+	var err error
+	if wl.Mix, err = parseMix(*mix); err != nil {
+		fatal(err)
+	}
+	if wl.Sizes, err = parseSizes(*sizes); err != nil {
+		fatal(err)
+	}
+
+	eng, err := engine.New(engine.Config{
+		Seed:     *seed,
+		Shards:   *shards,
+		Workers:  *workers,
+		Workload: wl,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	stop := make(chan struct{})
+	if *progress {
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					g, total := eng.Progress()
+					fmt.Fprintf(os.Stderr, "graded %d/%d\n", g, total)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	agg, err := eng.Run()
+	wall := time.Since(start)
+	close(stop)
+	if err != nil {
+		fatal(err)
+	}
+
+	out, err := json.MarshalIndent(agg, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+	fmt.Fprintf(os.Stderr, "wall: %s (%.1f tx/s real time), virtual makespan: %s\n",
+		wall.Round(time.Millisecond),
+		float64(agg.Graded)/wall.Seconds(),
+		(time.Duration(agg.MakespanVirtualMs) * time.Millisecond).Round(time.Second))
+	if agg.Violations > 0 && wl.Protocol == engine.ProtoAC3WN {
+		fmt.Fprintf(os.Stderr, "ATOMICITY VIOLATIONS: %d\n", agg.Violations)
+		os.Exit(1)
+	}
+}
+
+// parseMix parses "commit,abort,crash,race" weights.
+func parseMix(s string) (engine.Mix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return engine.Mix{}, fmt.Errorf("mix must be 4 comma-separated weights, got %q", s)
+	}
+	w := make([]int, 4)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return engine.Mix{}, fmt.Errorf("bad mix weight %q: %v", p, err)
+		}
+		w[i] = v
+	}
+	return engine.Mix{Commit: w[0], Abort: w[1], Crash: w[2], Race: w[3]}, nil
+}
+
+// parseSizes parses "size:weight,..." into a distribution.
+func parseSizes(s string) ([]engine.SizeWeight, error) {
+	var out []engine.SizeWeight
+	for _, p := range strings.Split(s, ",") {
+		var sz, wt int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d:%d", &sz, &wt); err != nil {
+			return nil, fmt.Errorf("bad size entry %q (want size:weight): %v", p, err)
+		}
+		out = append(out, engine.SizeWeight{Size: sz, Weight: wt})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -21,6 +21,16 @@
 //   - internal/core — AC3WN and AC3TW
 //   - internal/fees, internal/attack — Sections 6.2 and 6.3 analyses
 //   - internal/bench — one driver per table/figure of the evaluation
+//   - internal/engine — sharded concurrent orchestration: thousands
+//     of AC2Ts driven in parallel across independent deterministic
+//     shard worlds, with backpressure, scenario mixes and aggregated
+//     results (docs/architecture/ADR-001-engine.md)
+//
+// Command entry points: cmd/ac3bench regenerates the paper's tables
+// and figures, cmd/ac3sim runs one configurable AC2T end to end,
+// cmd/ac3calc evaluates the analytic models, and cmd/ac3engine runs
+// high-throughput mixed workloads on the engine and emits JSON
+// aggregates.
 //
 // The benchmarks in bench_test.go regenerate every table and figure;
 // see EXPERIMENTS.md for measured-vs-paper results and DESIGN.md for

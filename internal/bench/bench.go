@@ -156,6 +156,7 @@ func All(seed uint64) []*Result {
 		Atomicity(seed, 5),
 		Complex(seed),
 		Scale(seed),
+		EngineLoad(seed),
 	}
 }
 

@@ -102,3 +102,15 @@ func TestScale(t *testing.T) {
 		t.Fatalf("scale output incomplete:\n%s", r.Output)
 	}
 }
+
+func TestEngineLoad(t *testing.T) {
+	r := EngineLoad(42)
+	if !r.OK {
+		t.Fatalf("engine load failed:\n%s", r)
+	}
+	for _, want := range []string{"shards", "violations", "throughput"} {
+		if !strings.Contains(r.Output, want) {
+			t.Fatalf("engine output missing %q:\n%s", want, r.Output)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"repro/internal/contracts"
+	"repro/internal/crypto"
+	"repro/internal/xchain"
+)
+
+// Runner is the uniform lifecycle the orchestration engine
+// (internal/engine) multiplexes: every commitment protocol in this
+// repository — AC3WN, AC3TW, and the HTLC baselines in internal/swap
+// — drives itself off the shared simulator once started, exposes a
+// cheap quiescence check, and grades its outcome from ground-truth
+// chain views. The engine steps a whole shard of concurrent Runners
+// on one virtual clock and retires each as it settles.
+type Runner interface {
+	// Start begins the protocol at the current virtual time.
+	Start()
+	// Settled reports whether the run has reached a stable terminal
+	// state: a decision exists and every deployed asset contract has
+	// left Published. Engines still apply their own deadline on top,
+	// because a crashed participant can hold a run open indefinitely
+	// (that is the paper's Section 1 hazard, not a bug).
+	Settled() bool
+	// Grade reads terminal contract states from ground-truth views.
+	Grade() *xchain.Outcome
+}
+
+// Settled reports run quiescence for AC3WN: the commit/abort decision
+// is stable at depth d and every asset contract that made it on-chain
+// has settled (redeemed or refunded) on the ground-truth view. An
+// abort with nothing deployed is settled trivially — there is nothing
+// at stake.
+func (r *Run) Settled() bool {
+	if r.DecidedAt == 0 {
+		return false
+	}
+	deployed, settled := xchain.AllSettled(r.w, r.cfg.Graph, r.addrs)
+	if !settled {
+		return false
+	}
+	return deployed || r.DecidedOutcome == contracts.WitnessRefundAuthorized
+}
+
+// Stop cancels every participant reconciler this run armed. The
+// engine calls it when retiring a graded run so finished transactions
+// stop consuming simulator events.
+func (r *Run) Stop() {
+	for _, st := range r.states {
+		if st.poller != nil {
+			st.poller.Cancel()
+			st.poller = nil
+		}
+	}
+}
+
+// Settled reports run quiescence for AC3TW, mirroring AC3WN: Trent
+// decided and every deployed contract left Published on the
+// ground-truth view.
+func (r *TWRun) Settled() bool {
+	if r.decision == 0 {
+		return false
+	}
+	deployed, settled := xchain.AllSettled(r.w, r.cfg.Graph, r.addrs)
+	if !settled {
+		return false
+	}
+	return deployed || r.decision == crypto.PurposeRefund
+}

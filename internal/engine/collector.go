@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// latencyBounds are the aggregate latency histogram's inclusive upper
+// bounds in virtual milliseconds: 1, 2, 4, …, 128 minutes.
+var latencyBounds = []int64{
+	int64(1 * sim.Minute), int64(2 * sim.Minute), int64(4 * sim.Minute),
+	int64(8 * sim.Minute), int64(16 * sim.Minute), int64(32 * sim.Minute),
+	int64(64 * sim.Minute), int64(128 * sim.Minute),
+}
+
+// Collector is the engine's shared result sink. Shard goroutines feed
+// it concurrently: live counters let a progress reporter watch a run
+// without locks, and the latency histogram (metrics.Hist, itself
+// concurrency-safe and integer-valued) accumulates in any
+// interleaving without breaking the engine's byte-identical-output
+// guarantee. Everything order-sensitive stays in per-shard results
+// and is merged in shard order after the workers join.
+type Collector struct {
+	total    int64
+	graded   atomic.Int64
+	violated atomic.Int64
+	latency  *metrics.Hist
+}
+
+func newCollector(total int) *Collector {
+	return &Collector{total: int64(total), latency: metrics.NewHist(latencyBounds...)}
+}
+
+// observe records one graded transaction.
+func (c *Collector) observe(lat sim.Time, violated bool) {
+	c.graded.Add(1)
+	if violated {
+		c.violated.Add(1)
+	}
+	c.latency.Observe(int64(lat))
+}
+
+// Progress reports graded and total transaction counts; safe to call
+// from any goroutine while the engine runs.
+func (c *Collector) Progress() (graded, total int64) {
+	return c.graded.Load(), c.total
+}
+
+// ScenarioStats aggregates outcomes for one scenario.
+type ScenarioStats struct {
+	Txs        int `json:"txs"`
+	Commits    int `json:"commits"`
+	Aborts     int `json:"aborts"`
+	Stuck      int `json:"stuck"`
+	Violations int `json:"violations"`
+}
+
+// add folds one outcome into the stats.
+func (s *ScenarioStats) add(committed, aborted, violated bool) {
+	s.Txs++
+	switch {
+	case committed:
+		s.Commits++
+	case aborted:
+		s.Aborts++
+	default:
+		s.Stuck++
+	}
+	if violated {
+		s.Violations++
+	}
+}
+
+// merge folds other into s.
+func (s *ScenarioStats) merge(o *ScenarioStats) {
+	s.Txs += o.Txs
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Stuck += o.Stuck
+	s.Violations += o.Violations
+}
+
+// ShardResult is one shard's complete, deterministic outcome.
+type ShardResult struct {
+	Shard             int                        `json:"shard"`
+	Seed              uint64                     `json:"seed"`
+	Txs               int                        `json:"txs"`
+	Graded            int                        `json:"graded"`
+	Commits           int                        `json:"commits"`
+	Aborts            int                        `json:"aborts"`
+	Stuck             int                        `json:"stuck"`
+	Violations        int                        `json:"violations"`
+	Deploys           int                        `json:"deploys"`
+	Calls             int                        `json:"calls"`
+	MakespanVirtualMs int64                      `json:"makespan_virtual_ms"`
+	Events            uint64                     `json:"sim_events"`
+	ByScenario        map[Scenario]ScenarioStats `json:"by_scenario"`
+
+	// latencies in virtual ms, grading order; merged (and only then
+	// sorted) by the engine for aggregate percentiles.
+	latencies []int64
+}
+
+// record folds one graded transaction into the shard result.
+func (r *ShardResult) record(sc Scenario, committed, aborted, violated bool, lat sim.Time, deploys, calls int) {
+	r.Graded++
+	switch {
+	case committed:
+		r.Commits++
+	case aborted:
+		r.Aborts++
+	default:
+		r.Stuck++
+	}
+	if violated {
+		r.Violations++
+	}
+	r.Deploys += deploys
+	r.Calls += calls
+	st := r.ByScenario[sc]
+	st.add(committed, aborted, violated)
+	r.ByScenario[sc] = st
+	r.latencies = append(r.latencies, int64(lat))
+}

@@ -1,0 +1,231 @@
+// Package engine is the sharded, concurrent AC2T orchestration layer:
+// it drives thousands of atomic cross-chain transactions to completion
+// in parallel, which the strictly sequential single-simulator harness
+// in internal/bench cannot.
+//
+// The design splits determinism from parallelism. A generated
+// workload (ring AC2Ts with configurable arrival rate, graph-size
+// distribution and commit/abort/crash/attack mix) is partitioned
+// across N shards. Each shard owns an independent deterministic sim
+// world — its own chains, miners and witness network, seeded from the
+// master seed — and executes its transaction stream through the
+// existing core.AC3WN / core.AC3TW / swap runners with per-shard
+// backpressure (MaxInFlight) and per-transaction timeouts. Shards run
+// concurrently on a worker pool of goroutines; within a shard
+// everything stays on one virtual clock and one goroutine, so a shard
+// is a pure function of (seed, workload) and the whole run is a pure
+// function of the master seed and shard count. The collector
+// aggregates commit/abort/atomicity-violation counts, latency
+// histograms and virtual throughput; aggregation is integer-only and
+// merged in shard order, so two runs with the same configuration
+// produce byte-identical results no matter how the scheduler
+// interleaves workers.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Config configures an engine run.
+type Config struct {
+	// Seed is the master seed; every shard seed derives from it.
+	Seed uint64
+	// Shards is the number of independent simulation worlds the
+	// workload is partitioned across.
+	Shards int
+	// Workers bounds concurrently executing shards (0 = min(Shards,
+	// GOMAXPROCS)). Workers only affects wall-clock scheduling, never
+	// results.
+	Workers int
+	// Workload describes the transaction stream.
+	Workload Workload
+}
+
+// Engine partitions and executes a workload.
+type Engine struct {
+	cfg Config
+	col *Collector
+}
+
+// New validates the configuration and prepares an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("engine: Shards must be positive")
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("engine: negative Workers")
+	}
+	if err := cfg.Workload.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workload.Txs < cfg.Shards {
+		return nil, fmt.Errorf("engine: %d txs cannot cover %d shards", cfg.Workload.Txs, cfg.Shards)
+	}
+	return &Engine{cfg: cfg, col: newCollector(cfg.Workload.Txs)}, nil
+}
+
+// Progress reports graded and total transactions; safe to call from
+// any goroutine while Run executes.
+func (e *Engine) Progress() (graded, total int64) { return e.col.Progress() }
+
+// Aggregate is the engine's machine-readable result. Integer-only
+// accounting and shard-ordered merging make it byte-identical across
+// runs with the same configuration.
+type Aggregate struct {
+	Protocol   Protocol `json:"protocol"`
+	Seed       uint64   `json:"seed"`
+	Shards     int      `json:"shards"`
+	Txs        int      `json:"txs"`
+	Graded     int      `json:"graded"`
+	Commits    int      `json:"commits"`
+	Aborts     int      `json:"aborts"`
+	Stuck      int      `json:"stuck"`
+	Violations int      `json:"atomicity_violations"`
+	Deploys    int      `json:"deploys"`
+	Calls      int      `json:"calls"`
+
+	ByScenario map[Scenario]ScenarioStats `json:"by_scenario"`
+
+	// LatencyMs is the virtual commit-latency histogram across all
+	// graded transactions.
+	LatencyMs metrics.HistSnapshot `json:"latency_ms"`
+	// Percentiles over all shard latencies, virtual ms.
+	LatencyP50Ms int64 `json:"latency_p50_ms"`
+	LatencyP95Ms int64 `json:"latency_p95_ms"`
+	LatencyP99Ms int64 `json:"latency_p99_ms"`
+
+	// MakespanVirtualMs is the slowest shard's virtual makespan;
+	// shards execute in parallel, so it bounds the run.
+	MakespanVirtualMs int64 `json:"makespan_virtual_ms"`
+	// ThroughputTPSVirtual is graded transactions per virtual second
+	// of makespan — the sustained AC2T throughput the sharded system
+	// sustains on its own clocks.
+	ThroughputTPSVirtual float64 `json:"throughput_tps_virtual"`
+	// SimEvents totals dispatched simulator events (work proxy).
+	SimEvents uint64 `json:"sim_events"`
+
+	PerShard []ShardResult `json:"per_shard"`
+}
+
+// Run executes the workload and returns the aggregate. It blocks
+// until every shard completes.
+func (e *Engine) Run() (*Aggregate, error) {
+	cfg := e.cfg
+	shards := cfg.Shards
+	workers := cfg.Workers
+	if workers == 0 || workers > shards {
+		workers = shards
+	}
+	if gp := runtime.GOMAXPROCS(0); cfg.Workers == 0 && workers > gp {
+		workers = gp
+	}
+
+	// Shard seeds and transaction split derive deterministically from
+	// the master seed: the first Txs%Shards shards take one extra.
+	seedRNG := sim.NewRNG(cfg.Seed)
+	seeds := make([]uint64, shards)
+	for i := range seeds {
+		seeds[i] = seedRNG.Uint64()
+	}
+	txs := make([]int, shards)
+	base, extra := cfg.Workload.Txs/shards, cfg.Workload.Txs%shards
+	for i := range txs {
+		txs[i] = base
+		if i < extra {
+			txs[i]++
+		}
+	}
+
+	results := make([]*ShardResult, shards)
+	errs := make([]error, shards)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One Sim value per worker, Reset per shard: the
+			// run-to-quiescence/Reset API keeps shard worlds
+			// independent without reallocating the simulator.
+			s := sim.New(0)
+			for idx := range idxCh {
+				results[idx], errs[idx] = runShard(s, idx, seeds[idx], cfg.Workload, txs[idx], e.col)
+			}
+		}()
+	}
+	for i := 0; i < shards; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.assemble(results), nil
+}
+
+// assemble merges per-shard results in shard order.
+func (e *Engine) assemble(results []*ShardResult) *Aggregate {
+	agg := &Aggregate{
+		Protocol:   e.cfg.Workload.Protocol,
+		Seed:       e.cfg.Seed,
+		Shards:     e.cfg.Shards,
+		Txs:        e.cfg.Workload.Txs,
+		ByScenario: make(map[Scenario]ScenarioStats),
+		LatencyMs:  e.col.latency.Snapshot(),
+	}
+	var all []int64
+	for _, r := range results {
+		agg.Graded += r.Graded
+		agg.Commits += r.Commits
+		agg.Aborts += r.Aborts
+		agg.Stuck += r.Stuck
+		agg.Violations += r.Violations
+		agg.Deploys += r.Deploys
+		agg.Calls += r.Calls
+		agg.SimEvents += r.Events
+		if r.MakespanVirtualMs > agg.MakespanVirtualMs {
+			agg.MakespanVirtualMs = r.MakespanVirtualMs
+		}
+		for sc, st := range r.ByScenario {
+			cur := agg.ByScenario[sc]
+			cur.merge(&st)
+			agg.ByScenario[sc] = cur
+		}
+		all = append(all, r.latencies...)
+		agg.PerShard = append(agg.PerShard, *r)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	agg.LatencyP50Ms = percentile(all, 50)
+	agg.LatencyP95Ms = percentile(all, 95)
+	agg.LatencyP99Ms = percentile(all, 99)
+	if agg.MakespanVirtualMs > 0 {
+		agg.ThroughputTPSVirtual = float64(agg.Graded) / (float64(agg.MakespanVirtualMs) / 1000)
+	}
+	return agg
+}
+
+// percentile returns the p-th percentile of sorted samples (nearest
+// rank; 0 when empty).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testWorkload is a small mixed workload that still exercises every
+// scenario: commits, declines, one crash-recovery participant per
+// shard (weights guarantee at least one draw at this size), and
+// adversarial decision races.
+func testWorkload(txs int) Workload {
+	wl := DefaultWorkload()
+	wl.Txs = txs
+	wl.ArrivalEvery = 15 * sim.Second
+	wl.Mix = Mix{Commit: 4, Abort: 2, Crash: 2, Race: 2}
+	return wl
+}
+
+func run(t *testing.T, cfg Config) *Aggregate {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// TestDeterminism is the engine's core guarantee: the same master
+// seed and shard count produce byte-identical aggregates, no matter
+// how many workers the scheduler spreads the shards over.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Shards: 4, Workload: testWorkload(24)}
+	a := run(t, cfg)
+	cfg.Workers = 1 // serialize: different interleaving, same shards
+	b := run(t, cfg)
+
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("aggregates differ across runs:\n%s\n----\n%s", aj, bj)
+	}
+	if a.Graded != 24 {
+		t.Fatalf("graded %d/24", a.Graded)
+	}
+}
+
+// TestMixedScenarioAtomicity runs commits, aborts, crash-recovery and
+// decision races concurrently in every shard and asserts the paper's
+// core claim under load: zero atomicity violations, nothing left
+// stuck, and every scenario behaves as designed.
+func TestMixedScenarioAtomicity(t *testing.T) {
+	agg := run(t, Config{Seed: 7, Shards: 3, Workload: testWorkload(30)})
+
+	if agg.Graded != 30 {
+		t.Fatalf("graded %d/30", agg.Graded)
+	}
+	if agg.Violations != 0 {
+		t.Fatalf("AC3WN produced %d atomicity violations under mixed load", agg.Violations)
+	}
+	if agg.Stuck != 0 {
+		t.Fatalf("%d transactions stuck (neither committed nor cleanly aborted)", agg.Stuck)
+	}
+	// Every scenario must actually have been drawn at these weights.
+	for _, sc := range []Scenario{ScenarioCommit, ScenarioAbort, ScenarioCrash, ScenarioRace} {
+		st, ok := agg.ByScenario[sc]
+		if !ok || st.Txs == 0 {
+			t.Fatalf("scenario %s never drawn: %+v", sc, agg.ByScenario)
+		}
+		if st.Violations != 0 {
+			t.Fatalf("scenario %s violated atomicity %d times", sc, st.Violations)
+		}
+	}
+	// Well-behaved transactions commit; declines abort.
+	if st := agg.ByScenario[ScenarioCommit]; st.Commits != st.Txs {
+		t.Fatalf("commit scenario: %d/%d committed", st.Commits, st.Txs)
+	}
+	if st := agg.ByScenario[ScenarioAbort]; st.Aborts != st.Txs {
+		t.Fatalf("abort scenario: %d/%d aborted", st.Aborts, st.Txs)
+	}
+	// Crash-recovery is the headline: the victim is down for 8
+	// virtual minutes — far beyond timelock scale — and still nobody
+	// loses assets (committed or cleanly aborted, never mixed).
+	if st := agg.ByScenario[ScenarioCrash]; st.Commits+st.Aborts != st.Txs {
+		t.Fatalf("crash scenario left %d unsettled", st.Txs-st.Commits-st.Aborts)
+	}
+	// Sanity on the aggregate accounting.
+	if agg.Commits+agg.Aborts+agg.Stuck != agg.Graded {
+		t.Fatalf("outcome counts do not add up: %+v", agg)
+	}
+	if agg.LatencyMs.Count != uint64(agg.Graded) {
+		t.Fatalf("latency histogram has %d samples, want %d", agg.LatencyMs.Count, agg.Graded)
+	}
+	if agg.ThroughputTPSVirtual <= 0 {
+		t.Fatal("no virtual throughput computed")
+	}
+}
+
+// TestBackpressureQueues proves the in-flight cap actually defers
+// arrivals: with a cap of 1 and a fast arrival process, later
+// transactions must start (and therefore finish) strictly after
+// earlier ones, stretching the makespan well beyond the arrival span.
+func TestBackpressureQueues(t *testing.T) {
+	wl := DefaultWorkload()
+	wl.Txs = 6
+	wl.ArrivalEvery = 2 * sim.Second // all arrive almost at once
+	wl.MaxInFlight = 1
+	wl.Mix = Mix{Commit: 1} // only commits: deterministic service times
+	wl.Sizes = []SizeWeight{{Size: 2, Weight: 1}}
+	agg := run(t, Config{Seed: 11, Shards: 1, Workload: wl})
+	if agg.Graded != 6 || agg.Stuck != 0 {
+		t.Fatalf("graded=%d stuck=%d", agg.Graded, agg.Stuck)
+	}
+	// Six strictly serialized commits take at least 6 minimum
+	// commit latencies; concurrent execution would overlap them.
+	minSerial := 6 * agg.LatencyMs.Min
+	if agg.MakespanVirtualMs < minSerial {
+		t.Fatalf("makespan %dms < %dms: cap of 1 did not serialize",
+			agg.MakespanVirtualMs, minSerial)
+	}
+}
+
+// TestHTLCBaselineLosesAssetsUnderCrash is the contrast experiment at
+// engine scale: the same crash-at-decision workload that AC3WN
+// absorbs makes the HTLC baseline violate atomicity (the crashed
+// victim's incoming contract refunds at the timelock while the
+// counterparty already redeemed with the revealed secret).
+func TestHTLCBaselineLosesAssetsUnderCrash(t *testing.T) {
+	wl := DefaultWorkload()
+	wl.Txs = 8
+	wl.Protocol = ProtoHTLC
+	wl.ArrivalEvery = 30 * sim.Second
+	wl.Mix = Mix{Crash: 1} // every transaction hits the hazard
+	wl.Sizes = []SizeWeight{{Size: 2, Weight: 1}}
+	agg := run(t, Config{Seed: 3, Shards: 2, Workload: wl})
+	if agg.Graded != 8 {
+		t.Fatalf("graded %d/8", agg.Graded)
+	}
+	if agg.Violations == 0 {
+		t.Fatal("HTLC survived the crash hazard — the baseline contrast is broken")
+	}
+}
+
+// TestConfigValidation exercises the rejection paths.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Seed: 1, Shards: 0, Workload: DefaultWorkload()},
+		{Seed: 1, Shards: 2, Workers: -1, Workload: DefaultWorkload()},
+	}
+	wl := DefaultWorkload()
+	wl.Txs = 1
+	bad = append(bad, Config{Seed: 1, Shards: 2, Workload: wl}) // txs < shards
+	wl2 := DefaultWorkload()
+	wl2.Protocol = "nope"
+	bad = append(bad, Config{Seed: 1, Shards: 1, Workload: wl2})
+	wl3 := DefaultWorkload()
+	wl3.Mix = Mix{}
+	bad = append(bad, Config{Seed: 1, Shards: 1, Workload: wl3})
+	wl4 := DefaultWorkload()
+	wl4.Sizes = []SizeWeight{{Size: 1, Weight: 1}}
+	bad = append(bad, Config{Seed: 1, Shards: 1, Workload: wl4})
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/xchain"
+)
+
+// Shard-world experiment constants. Block interval 10s at
+// confirmation depth 2 gives Δ ≈ 30s of virtual time; scenario
+// timings are expressed against that scale.
+const (
+	shardConfirmDepth = 2
+	// safetyAbortAfter bounds well-behaved runs: if an AC2T has not
+	// committed by then, participants push authorize_refund rather
+	// than hold assets locked forever.
+	safetyAbortAfter = 25 * sim.Minute
+	// declineAbortAfter is the abort scenario's much earlier
+	// "participant changed her mind" deadline.
+	declineAbortAfter = 4 * sim.Minute
+	// crashDownFor is how long the crash scenario's victim stays down
+	// after the decision is pushed — far beyond any HTLC timelock
+	// scale, which is the point.
+	crashDownFor = 8 * sim.Minute
+	// settleGrace delays grading after quiescence so depth-0 reads
+	// cannot be flipped back by a late fork race.
+	settleGrace = 20 * sim.Second
+	// donePollEvery is the per-transaction quiescence poll cadence.
+	donePollEvery = 5 * sim.Second
+)
+
+// txSpec is one generated AC2T: arrival offset, ring size, scenario.
+type txSpec struct {
+	arrival  sim.Time
+	size     int
+	scenario Scenario
+}
+
+// txState tracks one admitted AC2T through grading.
+type txState struct {
+	runner core.Runner
+	parts  []*xchain.Participant
+	graded bool
+}
+
+// shardExec executes one shard: an independent deterministic world
+// (chains + miners + witness network seeded from the shard seed) and
+// its generated transaction stream, all on a single virtual clock.
+// Everything here runs on one goroutine — concurrency lives between
+// shards, never inside one — so a shard is a pure function of
+// (seed, workload, txCount).
+type shardExec struct {
+	idx  int
+	seed uint64
+	wl   Workload
+	col  *Collector
+
+	s        *sim.Sim
+	w        *xchain.World
+	assetIDs []chain.ID
+	witness  chain.ID
+	trent    *core.Trent
+
+	specs []txSpec
+	parts [][]*xchain.Participant // per tx, disjoint
+	txs   []txState
+
+	inFlight int
+	queue    []int
+	res      *ShardResult
+}
+
+// runShard executes txCount transactions on a world derived from
+// seed, reusing (and Reset-ing) the provided simulator.
+func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *Collector) (*ShardResult, error) {
+	s.Reset(seed)
+	e := &shardExec{
+		idx:  idx,
+		seed: seed,
+		wl:   wl,
+		col:  col,
+		s:    s,
+		txs:  make([]txState, txCount),
+		res:  &ShardResult{Shard: idx, Seed: seed, Txs: txCount, ByScenario: make(map[Scenario]ScenarioStats)},
+	}
+	if err := e.buildWorld(txCount); err != nil {
+		return nil, err
+	}
+	for i := range e.specs {
+		i := i
+		s.At(e.specs[i].arrival, func() { e.admit(i) })
+	}
+	// Hard virtual-time cap: even if every transaction runs to its
+	// timeout in maximally backpressured batches, the stream fits.
+	last := e.specs[len(e.specs)-1].arrival
+	batches := sim.Time((txCount+wl.MaxInFlight-1)/wl.MaxInFlight + 2)
+	deadline := last + batches*(wl.TxTimeout+settleGrace+sim.Minute)
+	done := func() bool { return e.res.Graded == txCount }
+	if !s.RunUntilDone(done, 10*sim.Second, deadline) {
+		return nil, fmt.Errorf("engine: shard %d did not quiesce by virtual deadline (graded %d/%d)",
+			idx, e.res.Graded, txCount)
+	}
+	e.res.MakespanVirtualMs = int64(s.Now())
+	e.res.Events = s.Executed
+	return e.res, nil
+}
+
+// buildWorld draws the transaction stream and assembles the shard's
+// chains and participants. Workload draws come from an RNG forked off
+// the shard seed, independent of the world's own entropy, so the
+// stream shape does not perturb mining randomness and vice versa.
+func (e *shardExec) buildWorld(txCount int) error {
+	wlRNG := sim.NewRNG(e.seed ^ 0x9e3779b97f4a7c15)
+	b := xchain.NewBuilderOn(e.s)
+	e.assetIDs = make([]chain.ID, e.wl.AssetChains)
+	for i := range e.assetIDs {
+		e.assetIDs[i] = chain.ID(fmt.Sprintf("asset-%d", i))
+		b.Chain(engineChainSpec(e.assetIDs[i]))
+	}
+	e.witness = chain.ID("witness")
+	b.Chain(engineChainSpec(e.witness))
+
+	e.specs = make([]txSpec, txCount)
+	var at sim.Time
+	for i := range e.specs {
+		at += wlRNG.ExpTime(e.wl.ArrivalEvery)
+		e.specs[i] = txSpec{
+			arrival:  at,
+			size:     e.wl.drawSize(wlRNG),
+			scenario: e.wl.drawScenario(wlRNG),
+		}
+	}
+	// Every AC2T gets disjoint, pre-funded participants: concurrent
+	// transactions on shared chains must not share identities (the
+	// paper's AC2Ts need no coordination with each other, and the
+	// engine preserves that).
+	e.parts = make([][]*xchain.Participant, txCount)
+	for i, spec := range e.specs {
+		ps := make([]*xchain.Participant, spec.size)
+		for j := range ps {
+			ps[j] = b.Participant(fmt.Sprintf("s%d-t%d-p%d", e.idx, i, j))
+			b.Fund(ps[j], e.chainOf(i, j), 200_000)
+		}
+		e.parts[i] = ps
+	}
+	w, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("engine: shard %d world: %w", e.idx, err)
+	}
+	e.w = w
+	if e.wl.Protocol == ProtoAC3TW {
+		e.trent = core.NewTrent(w, e.seed^0x7e27, 200*sim.Millisecond)
+	}
+	return nil
+}
+
+// engineChainSpec is the standard shard chain: 3 miners, 10s blocks.
+func engineChainSpec(id chain.ID) xchain.ChainSpec {
+	s := xchain.DefaultChainSpec(id)
+	s.Params.ConfirmDepth = shardConfirmDepth
+	return s
+}
+
+// chainOf assigns edge j of transaction i to an asset chain, rotating
+// by transaction index so load spreads across chains.
+func (e *shardExec) chainOf(i, j int) chain.ID {
+	return e.assetIDs[(i+j)%len(e.assetIDs)]
+}
+
+// admit starts transaction i or queues it when the shard is at its
+// in-flight cap (backpressure).
+func (e *shardExec) admit(i int) {
+	if e.inFlight >= e.wl.MaxInFlight {
+		e.queue = append(e.queue, i)
+		return
+	}
+	e.start(i)
+}
+
+// start builds the graph and runner for transaction i, applies its
+// scenario, and arms the quiescence watch.
+func (e *shardExec) start(i int) {
+	e.inFlight++
+	spec := e.specs[i]
+	ps := e.parts[i]
+	st := &e.txs[i]
+	st.parts = ps
+
+	chains := make([]chain.ID, spec.size)
+	for j := range chains {
+		chains[j] = e.chainOf(i, j)
+	}
+	g, err := ringGraph(e.graphStamp(i), ps, chains)
+	if err != nil {
+		// Generation bug — grade as stuck so the stream keeps moving.
+		e.finish(i, nil)
+		return
+	}
+
+	runner, err := e.newRunner(g, ps, spec)
+	if err != nil {
+		e.finish(i, nil)
+		return
+	}
+	st.runner = runner
+	runner.Start()
+	e.applyScenario(i, runner, ps, spec)
+
+	deadline := e.s.Now() + e.wl.TxTimeout
+	e.s.Poll(donePollEvery, func() bool {
+		if st.graded {
+			return true
+		}
+		if runner.Settled() {
+			e.s.After(settleGrace, func() { e.finish(i, runner) })
+			return true
+		}
+		if e.s.Now() >= deadline {
+			e.finish(i, runner)
+			return true
+		}
+		return false
+	})
+}
+
+// graphStamp derives a unique graph timestamp for transaction i.
+func (e *shardExec) graphStamp(i int) int64 {
+	return int64(e.idx)<<32 | int64(i+1)
+}
+
+// newRunner constructs the protocol runner for one AC2T.
+func (e *shardExec) newRunner(g *graph.Graph, ps []*xchain.Participant, spec txSpec) (core.Runner, error) {
+	abortAfter := safetyAbortAfter
+	if spec.scenario == ScenarioAbort {
+		abortAfter = declineAbortAfter
+	}
+	switch e.wl.Protocol {
+	case ProtoAC3WN:
+		return core.New(e.w, core.Config{
+			Graph:        g,
+			Participants: ps,
+			Initiator:    ps[0],
+			WitnessChain: e.witness,
+			WitnessDepth: shardConfirmDepth,
+			AssetDepth:   shardConfirmDepth,
+			AbortAfter:   abortAfter,
+		})
+	case ProtoAC3TW:
+		return core.NewTW(e.w, core.TWConfig{
+			Graph:        g,
+			Participants: ps,
+			Initiator:    ps[0],
+			Trent:        e.trent,
+			ConfirmDepth: shardConfirmDepth,
+			AbortAfter:   abortAfter,
+		})
+	case ProtoHTLC:
+		return swap.New(e.w, swap.Config{
+			Graph:        g,
+			Participants: ps,
+			Leader:       ps[0],
+			// Δ: publish + confirm at depth d, plus two blocks slack.
+			Delta:        sim.Time(shardConfirmDepth+1)*10*sim.Second + 20*sim.Second,
+			ConfirmDepth: shardConfirmDepth,
+		})
+	}
+	return nil, fmt.Errorf("engine: unknown protocol %q", e.wl.Protocol)
+}
+
+// applyScenario installs the per-scenario fault or adversary hooks.
+func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Participant, spec txSpec) {
+	st := &e.txs[i]
+	victim := ps[len(ps)-1]
+	switch spec.scenario {
+	case ScenarioAbort:
+		// The victim declines: it never deploys, so the AC2T cannot
+		// gather full deployment evidence and aborts at the deadline.
+		victim.Crash()
+	case ScenarioCrash:
+		// The Section 1 hazard: the victim crashes the instant the
+		// commit decision is being pushed, stays down far beyond any
+		// timelock scale, then recovers. AC3WN resumes and still
+		// redeems; HTLC loses the victim's incoming assets.
+		switch r := runner.(type) {
+		case *core.Run:
+			e.s.Poll(2*sim.Second, func() bool {
+				if st.graded || victim.Crashed() {
+					return true
+				}
+				if hasEventPrefix(r.Events, "authorize_redeem submitted") {
+					victim.Crash()
+					e.s.After(crashDownFor, func() {
+						if st.graded {
+							return
+						}
+						victim.Recover()
+						r.Resume(victim)
+					})
+					return true
+				}
+				// Decision went to refund instead — nothing to crash.
+				return r.DecidedAt != 0
+			})
+		case *swap.Run:
+			e.s.Poll(2*sim.Second, func() bool {
+				if st.graded || victim.Crashed() {
+					return true
+				}
+				if hasSwapEventSuffix(r.Events, "redeem submitted") {
+					victim.Crash() // stays down; the timelocks do the damage
+					return true
+				}
+				return false
+			})
+		}
+	case ScenarioRace:
+		// A rogue participant races the honest decision: it pushes
+		// authorize_refund the moment SCw becomes visible. Exactly one
+		// decision can bury at depth d, so the AC2T stays atomic —
+		// whichever way it goes.
+		if r, ok := runner.(*core.Run); ok {
+			rogue := victim
+			e.s.Poll(2*sim.Second, func() bool {
+				if st.graded {
+					return true
+				}
+				scw := r.SCwAddr()
+				if scw.IsZero() {
+					return false
+				}
+				if _, err := rogue.Client(e.witness).Call(scw, contracts.FnAuthorizeRefund, nil, 0); err == nil {
+					return true
+				}
+				return false
+			})
+		}
+	}
+}
+
+// finish grades transaction i, retires its participants, and admits
+// the next queued arrival.
+func (e *shardExec) finish(i int, runner core.Runner) {
+	st := &e.txs[i]
+	if st.graded {
+		return
+	}
+	st.graded = true
+	sc := e.specs[i].scenario
+
+	var committed, aborted, violated bool
+	var lat sim.Time
+	var deploys, calls int
+	if runner != nil {
+		out := runner.Grade()
+		committed, aborted, violated = out.Committed(), out.Aborted(), out.AtomicityViolated()
+		lat = out.Latency()
+		deploys, calls = out.Deploys, out.Calls
+	}
+	e.res.record(sc, committed, aborted, violated, lat, deploys, calls)
+	e.col.observe(lat, violated)
+
+	// Retire: crash every participant so lingering watches, pollers
+	// and resubmit loops stop consuming simulator events. On-chain
+	// state is already graded; nothing observes these identities
+	// again.
+	if r, ok := runner.(*core.Run); ok {
+		r.Stop()
+	}
+	for _, p := range st.parts {
+		if !p.Crashed() {
+			p.Crash()
+		}
+	}
+
+	e.inFlight--
+	if len(e.queue) > 0 {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		e.start(next)
+	}
+}
+
+// hasEventPrefix reports whether any core event label starts with
+// prefix.
+func hasEventPrefix(events []core.Event, prefix string) bool {
+	for _, ev := range events {
+		if strings.HasPrefix(ev.Label, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSwapEventSuffix reports whether any swap event label ends with
+// suffix.
+func hasSwapEventSuffix(events []swap.Event, suffix string) bool {
+	for _, ev := range events {
+		if strings.HasSuffix(ev.Label, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// ringGraph builds the AC2T ring over the participants' addresses.
+func ringGraph(stamp int64, ps []*xchain.Participant, chains []chain.ID) (*graph.Graph, error) {
+	edges := make([]graph.Edge, len(ps))
+	for j := range ps {
+		edges[j] = graph.Edge{
+			From:  ps[j].Addr(),
+			To:    ps[(j+1)%len(ps)].Addr(),
+			Asset: 10_000,
+			Chain: chains[j],
+		}
+	}
+	return graph.New(stamp, edges...)
+}

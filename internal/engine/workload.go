@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Protocol selects which commitment protocol a workload drives
+// through the engine.
+type Protocol string
+
+// The three protocol families the repository implements.
+const (
+	ProtoAC3WN Protocol = "ac3wn" // the paper's contribution (Section 4.2)
+	ProtoAC3TW Protocol = "ac3tw" // centralized-witness strawman (Section 4.1)
+	ProtoHTLC  Protocol = "htlc"  // Nolan/Herlihy hashlock baseline
+)
+
+// Scenario is the behavioral template a generated AC2T follows.
+type Scenario string
+
+// The scenario mix: well-behaved commits, participant-declines
+// aborts, the paper's Section 1 crash-recovery hazard, and an
+// adversarial decision race (a rogue participant pushing
+// authorize_refund the moment SCw appears, trying to flip the
+// outcome).
+const (
+	ScenarioCommit Scenario = "commit"
+	ScenarioAbort  Scenario = "abort"
+	ScenarioCrash  Scenario = "crash"
+	ScenarioRace   Scenario = "race"
+)
+
+// Mix weighs the scenarios in a workload. Zero-weight scenarios never
+// occur; an all-zero Mix is rejected.
+type Mix struct {
+	Commit int `json:"commit"`
+	Abort  int `json:"abort"`
+	Crash  int `json:"crash"`
+	Race   int `json:"race"`
+}
+
+// SizeWeight weighs one AC2T graph size (ring participant count) in
+// the workload's size distribution.
+type SizeWeight struct {
+	Size   int `json:"size"`
+	Weight int `json:"weight"`
+}
+
+// Workload describes the transaction stream each shard generates and
+// executes. All times are virtual.
+type Workload struct {
+	// Protocol selects the runner family.
+	Protocol Protocol `json:"protocol"`
+	// Txs is the total number of AC2Ts across all shards.
+	Txs int `json:"txs"`
+	// ArrivalEvery is the mean exponential interarrival time of AC2Ts
+	// within one shard (the per-shard offered load).
+	ArrivalEvery sim.Time `json:"arrival_every_ms"`
+	// MaxInFlight bounds concurrently executing AC2Ts per shard;
+	// arrivals beyond it queue (backpressure) until a slot frees.
+	MaxInFlight int `json:"max_in_flight"`
+	// TxTimeout is the per-transaction grading deadline: a run that
+	// has not settled by then is graded as-is (stuck counts surface
+	// in the aggregate rather than hanging the shard).
+	TxTimeout sim.Time `json:"tx_timeout_ms"`
+	// AssetChains is how many asset blockchains each shard world
+	// hosts (plus one witness chain).
+	AssetChains int `json:"asset_chains"`
+	// Sizes is the AC2T graph-size distribution.
+	Sizes []SizeWeight `json:"sizes"`
+	// Mix weighs the scenarios.
+	Mix Mix `json:"mix"`
+}
+
+// DefaultWorkload returns a mixed AC3WN workload: mostly commits,
+// with aborts, one crash-recovery participant, and adversarial
+// decision races sprinkled in.
+func DefaultWorkload() Workload {
+	return Workload{
+		Protocol:     ProtoAC3WN,
+		Txs:          100,
+		ArrivalEvery: 20 * sim.Second,
+		MaxInFlight:  8,
+		TxTimeout:    45 * sim.Minute,
+		AssetChains:  2,
+		Sizes:        []SizeWeight{{Size: 2, Weight: 6}, {Size: 3, Weight: 3}, {Size: 4, Weight: 1}},
+		Mix:          Mix{Commit: 7, Abort: 2, Crash: 1, Race: 1},
+	}
+}
+
+// validate rejects unusable workloads.
+func (wl *Workload) validate() error {
+	switch wl.Protocol {
+	case ProtoAC3WN, ProtoAC3TW, ProtoHTLC:
+	default:
+		return fmt.Errorf("engine: unknown protocol %q", wl.Protocol)
+	}
+	if wl.Txs <= 0 {
+		return fmt.Errorf("engine: workload needs Txs > 0")
+	}
+	if wl.ArrivalEvery <= 0 || wl.TxTimeout <= 0 {
+		return fmt.Errorf("engine: non-positive workload times")
+	}
+	if wl.MaxInFlight <= 0 {
+		return fmt.Errorf("engine: MaxInFlight must be positive")
+	}
+	if wl.AssetChains < 2 {
+		return fmt.Errorf("engine: need >= 2 asset chains, got %d", wl.AssetChains)
+	}
+	if len(wl.Sizes) == 0 {
+		return fmt.Errorf("engine: empty size distribution")
+	}
+	total := 0
+	for _, s := range wl.Sizes {
+		if s.Size < 2 {
+			return fmt.Errorf("engine: AC2T size %d < 2", s.Size)
+		}
+		if s.Weight < 0 {
+			return fmt.Errorf("engine: negative size weight")
+		}
+		total += s.Weight
+	}
+	if total == 0 {
+		return fmt.Errorf("engine: all size weights zero")
+	}
+	if wl.Mix.Commit < 0 || wl.Mix.Abort < 0 || wl.Mix.Crash < 0 || wl.Mix.Race < 0 {
+		return fmt.Errorf("engine: negative mix weight")
+	}
+	if wl.Mix.Commit+wl.Mix.Abort+wl.Mix.Crash+wl.Mix.Race == 0 {
+		return fmt.Errorf("engine: all mix weights zero")
+	}
+	return nil
+}
+
+// drawSize samples the graph-size distribution.
+func (wl *Workload) drawSize(rng *sim.RNG) int {
+	total := 0
+	for _, s := range wl.Sizes {
+		total += s.Weight
+	}
+	n := rng.Intn(total)
+	for _, s := range wl.Sizes {
+		n -= s.Weight
+		if n < 0 {
+			return s.Size
+		}
+	}
+	return wl.Sizes[len(wl.Sizes)-1].Size
+}
+
+// drawScenario samples the scenario mix and maps scenarios a protocol
+// cannot express onto commit: AC3TW has no witness contract to race
+// and its crash story is Trent's, not a participant's; HTLC has no
+// decision to race. HTLC crash is kept — demonstrating that the
+// baseline loses assets under the Section 1 hazard is exactly what an
+// engine-level comparison is for.
+func (wl *Workload) drawScenario(rng *sim.RNG) Scenario {
+	m := wl.Mix
+	n := rng.Intn(m.Commit + m.Abort + m.Crash + m.Race)
+	var sc Scenario
+	switch {
+	case n < m.Commit:
+		sc = ScenarioCommit
+	case n < m.Commit+m.Abort:
+		sc = ScenarioAbort
+	case n < m.Commit+m.Abort+m.Crash:
+		sc = ScenarioCrash
+	default:
+		sc = ScenarioRace
+	}
+	switch wl.Protocol {
+	case ProtoAC3TW:
+		if sc == ScenarioCrash || sc == ScenarioRace {
+			sc = ScenarioCommit
+		}
+	case ProtoHTLC:
+		if sc == ScenarioRace {
+			sc = ScenarioCommit
+		}
+	}
+	return sc
+}

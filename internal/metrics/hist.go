@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Hist is a fixed-bucket histogram over int64 samples (virtual
+// milliseconds, counts, fees — anything integral), safe for
+// concurrent use. Integer arithmetic keeps aggregation deterministic
+// regardless of the order concurrent observers interleave in, which
+// is what lets the engine promise byte-identical aggregates across
+// runs while still collecting from many shard goroutines at once.
+type Hist struct {
+	mu     sync.Mutex
+	bounds []int64  // ascending inclusive upper bounds; +Inf implicit
+	counts []uint64 // len(bounds)+1
+	n      uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHist creates a histogram with the given ascending inclusive
+// upper bounds. A sample v lands in the first bucket with v <=
+// bound; samples above every bound land in the implicit overflow
+// bucket. NewHist panics on empty or unsorted bounds.
+func NewHist(bounds ...int64) *Hist {
+	if len(bounds) == 0 {
+		panic("metrics: NewHist with no bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: NewHist bounds not strictly ascending")
+		}
+	}
+	return &Hist{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.mu.Lock()
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistSnapshot is an immutable, JSON-friendly view of a histogram.
+type HistSnapshot struct {
+	// Bounds are the inclusive upper bounds; the final count row is
+	// the overflow bucket.
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+	Min    int64    `json:"min"`
+	Max    int64    `json:"max"`
+}
+
+// Mean returns the arithmetic mean of the observed samples (0 when
+// empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot returns a consistent copy of the histogram's state.
+func (h *Hist) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.n,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
+
+// String renders the histogram as an aligned bucket table.
+func (s HistSnapshot) String() string {
+	var b strings.Builder
+	for i, c := range s.Counts {
+		var label string
+		if i < len(s.Bounds) {
+			label = fmt.Sprintf("<= %d", s.Bounds[i])
+		} else {
+			label = fmt.Sprintf(" > %d", s.Bounds[len(s.Bounds)-1])
+		}
+		fmt.Fprintf(&b, "%-16s %d\n", label, c)
+	}
+	fmt.Fprintf(&b, "count=%d sum=%d min=%d max=%d\n", s.Count, s.Sum, s.Min, s.Max)
+	return b.String()
+}

@@ -87,6 +87,22 @@ func New(seed uint64) *Sim {
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
+// Reset returns the simulator to a pristine state: time zero, empty
+// event queue, counters cleared, random source re-seeded with seed. A
+// Reset simulator is indistinguishable from New(seed), so a harness
+// executing many independent worlds back to back (the engine's shard
+// workers, for example) can reuse one Sim value instead of
+// reallocating per world.
+func (s *Sim) Reset(seed uint64) {
+	s.now = 0
+	s.seq = 0
+	s.pending = nil
+	s.stopped = false
+	s.Executed = 0
+	s.MaxEvents = 0
+	s.rng = NewRNG(seed)
+}
+
 // RNG returns the simulator's deterministic random source.
 func (s *Sim) RNG() *RNG { return s.rng }
 
@@ -135,6 +151,37 @@ func (s *Sim) RunUntil(deadline Time) {
 	if !s.stopped && s.now < deadline {
 		s.now = deadline
 	}
+}
+
+// RunUntilDone dispatches events until done reports true (checked
+// every checkEvery of virtual time) or the virtual clock reaches
+// deadline, and reports whether done held. This is the
+// run-to-quiescence primitive for worlds whose actors never go idle
+// on their own (miners keep mining forever): the caller supplies the
+// quiescence condition — "all transactions graded", "network
+// converged" — instead of waiting for an empty event queue.
+func (s *Sim) RunUntilDone(done func() bool, checkEvery Time, deadline Time) bool {
+	if done() {
+		return true
+	}
+	if checkEvery <= 0 {
+		checkEvery = Second
+	}
+	finished := false
+	p := s.Poll(checkEvery, func() bool {
+		if done() {
+			finished = true
+			s.Stop()
+			return true
+		}
+		return false
+	})
+	s.RunUntil(deadline)
+	p.Cancel()
+	if !finished {
+		finished = done()
+	}
+	return finished
 }
 
 // step executes the earliest pending event.

@@ -307,3 +307,75 @@ func TestExpTimeAtLeastOne(t *testing.T) {
 		}
 	}
 }
+
+func TestResetMatchesFreshSim(t *testing.T) {
+	// A Reset sim must replay exactly like New(seed): same event
+	// interleaving, same RNG stream.
+	trace := func(s *Sim) []uint64 {
+		var out []uint64
+		for i := 0; i < 5; i++ {
+			i := i
+			s.After(Time(i+1)*Second, func() {
+				out = append(out, uint64(s.Now())^s.RNG().Uint64())
+			})
+		}
+		s.Run()
+		return out
+	}
+	fresh := trace(New(99))
+	reused := New(7)
+	reused.After(Second, func() {}) // dirty it
+	reused.MaxEvents = 3
+	reused.Run()
+	reused.Reset(99)
+	if reused.Now() != 0 || reused.Pending() != 0 || reused.Executed != 0 || reused.MaxEvents != 0 {
+		t.Fatalf("Reset left residue: now=%d pending=%d executed=%d", reused.Now(), reused.Pending(), reused.Executed)
+	}
+	got := trace(reused)
+	if len(got) != len(fresh) {
+		t.Fatalf("trace length %d != %d", len(got), len(fresh))
+	}
+	for i := range got {
+		if got[i] != fresh[i] {
+			t.Fatalf("trace diverges at %d: %d != %d", i, got[i], fresh[i])
+		}
+	}
+}
+
+func TestRunUntilDone(t *testing.T) {
+	s := New(1)
+	fired := 0
+	// A self-rescheduling actor that never drains the queue — the
+	// situation RunUntilDone exists for.
+	var tick func()
+	tick = func() {
+		fired++
+		s.After(Second, tick)
+	}
+	s.After(Second, tick)
+	if !s.RunUntilDone(func() bool { return fired >= 10 }, Second/2, Hour) {
+		t.Fatal("condition never reported done")
+	}
+	if fired < 10 || fired > 12 {
+		t.Fatalf("fired = %d, want ~10 (stop promptly after quiescence)", fired)
+	}
+	if s.Now() >= Hour {
+		t.Fatalf("ran to deadline (now=%d) despite done condition", s.Now())
+	}
+	// Deadline path: condition that never holds.
+	if s.RunUntilDone(func() bool { return false }, Second, s.Now()+10*Second) {
+		t.Fatal("reported done for an impossible condition")
+	}
+}
+
+func TestRunUntilDoneAlreadyDone(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(Second, func() { ran = true })
+	if !s.RunUntilDone(func() bool { return true }, Second, Hour) {
+		t.Fatal("not done")
+	}
+	if ran {
+		t.Fatal("dispatched events although already done")
+	}
+}

@@ -405,6 +405,19 @@ func findRedeemSecret(view *chain.Chain, addr crypto.Address) ([]byte, bool) {
 // Addrs exposes the per-edge contract addresses (for grading).
 func (r *Run) Addrs() []crypto.Address { return append([]crypto.Address(nil), r.addrs...) }
 
+// Settled reports run quiescence for the engine's core.Runner
+// contract: at least one asset contract made it on-chain and every
+// announced contract has left Published on the ground-truth view.
+// HTLC runs have no explicit decision — redeems and timelocked
+// refunds are the decision — so deployment-complete is the earliest
+// meaningful check. The sequential structure guarantees no new
+// contract appears after the announced ones settle: deploys strictly
+// precede redemption, and refunds only start at the timelocks.
+func (r *Run) Settled() bool {
+	deployed, settled := xchain.AllSettled(r.w, r.cfg.Graph, r.addrs)
+	return deployed && settled
+}
+
 // Grade reads terminal contract states from ground-truth views and
 // counts the on-chain operations the swap paid for (N deploys plus N
 // redeem/refund calls — Section 6.2's baseline cost).

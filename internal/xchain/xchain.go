@@ -61,7 +61,15 @@ type Builder struct {
 
 // NewBuilder starts a world definition on a fresh simulator.
 func NewBuilder(seed uint64) *Builder {
-	s := sim.New(seed)
+	return NewBuilderOn(sim.New(seed))
+}
+
+// NewBuilderOn starts a world definition on an existing simulator —
+// typically one just Reset — so a harness executing many worlds in
+// sequence (the engine's shard workers) can reuse one Sim value. The
+// builder consumes entropy from the simulator's RNG, so a world built
+// on a Reset(seed) sim is identical to one built with NewBuilder(seed).
+func NewBuilderOn(s *sim.Sim) *Builder {
 	return &Builder{
 		s:          s,
 		funding:    make(map[string]map[chain.ID]vm.Amount),
@@ -375,6 +383,30 @@ func CountContractOps(view *chain.Chain, addrs map[crypto.Address]bool) (deploys
 		}
 	}
 	return deploys, calls
+}
+
+// AllSettled scans an AC2T's announced asset contracts on the
+// ground-truth views: settled reports that every announced contract
+// exists on-chain and has left Published (redeemed or refunded);
+// deployed reports that at least one contract was announced and
+// found. Never-announced edges (zero address) are skipped — they are
+// the caller's decision-semantics problem. This is the shared
+// quiescence core behind the protocol runners' Settled methods.
+func AllSettled(w *World, g *graph.Graph, addrs []crypto.Address) (deployed, settled bool) {
+	for i, e := range g.Edges {
+		if i >= len(addrs) || addrs[i].IsZero() {
+			continue
+		}
+		ct, ok := w.View(e.Chain).TipState().Contract(addrs[i])
+		if !ok {
+			return deployed, false // announced but not in the view yet
+		}
+		if swapStateOf(ct) == contracts.StatePublished {
+			return deployed, false
+		}
+		deployed = true
+	}
+	return deployed, true
 }
 
 // swapStateOf extracts the Algorithm 1 state from any of the asset
