@@ -7,7 +7,7 @@
 //	ac3engine [-shards N] [-txs N] [-seed N] [-workers N]
 //	          [-protocol ac3wn|ac3tw|htlc] [-arrival sec] [-inflight N]
 //	          [-timeout min] [-chains N] [-mix commit,abort,crash,race]
-//	          [-sizes 2:6,3:3,4:1] [-progress]
+//	          [-sizes 2:6,3:3,4:1] [-progress] [-strict]
 //
 // The run is deterministic: the same flags always produce
 // byte-identical JSON aggregates, regardless of worker scheduling.
@@ -40,6 +40,7 @@ func main() {
 	mix := flag.String("mix", "7,2,1,1", "scenario weights: commit,abort,crash,race")
 	sizes := flag.String("sizes", "2:6,3:3,4:1", "graph size distribution as size:weight,...")
 	progress := flag.Bool("progress", false, "report live progress to stderr")
+	strict := flag.Bool("strict", false, "exit non-zero unless every transaction settled (graded, none stuck) with zero atomicity violations")
 	flag.Parse()
 
 	wl := engine.DefaultWorkload()
@@ -98,13 +99,27 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(string(out))
-	fmt.Fprintf(os.Stderr, "wall: %s (%.1f tx/s real time), virtual makespan: %s\n",
+	fmt.Fprintf(os.Stderr, "wall: %s (%.1f tx/s real time), virtual makespan: %s, %.1f sim events/tx\n",
 		wall.Round(time.Millisecond),
 		float64(agg.Graded)/wall.Seconds(),
-		(time.Duration(agg.MakespanVirtualMs) * time.Millisecond).Round(time.Second))
-	if agg.Violations > 0 && wl.Protocol == engine.ProtoAC3WN {
+		(time.Duration(agg.MakespanVirtualMs) * time.Millisecond).Round(time.Second),
+		agg.SimEventsPerTx)
+	// Violations always fail AC3WN runs (the protocol's core claim);
+	// for the baselines they only fail under -strict, since producing
+	// them is often the point of the experiment.
+	if agg.Violations > 0 && (*strict || wl.Protocol == engine.ProtoAC3WN) {
 		fmt.Fprintf(os.Stderr, "ATOMICITY VIOLATIONS: %d\n", agg.Violations)
 		os.Exit(1)
+	}
+	if *strict {
+		switch {
+		case agg.Graded != wl.Txs:
+			fmt.Fprintf(os.Stderr, "STRICT: graded %d/%d transactions\n", agg.Graded, wl.Txs)
+			os.Exit(1)
+		case agg.Stuck != 0:
+			fmt.Fprintf(os.Stderr, "STRICT: %d transactions failed to settle\n", agg.Stuck)
+			os.Exit(1)
+		}
 	}
 }
 

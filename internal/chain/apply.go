@@ -82,7 +82,7 @@ func consumeInputs(st *State, tx *Tx) (vm.Amount, error) {
 	if len(tx.Ins) == 0 {
 		return 0, nil
 	}
-	if !tx.Sig.Verify(tx.SigHash().Bytes()) {
+	if !tx.VerifySig() {
 		return 0, txErr("bad signature")
 	}
 	signer := tx.Sig.Signer()
@@ -155,7 +155,7 @@ func applyDeploy(st *State, reg *vm.Registry, chainID ID, height uint64, blockTi
 	}
 	// Deployments without inputs still need a valid signature to
 	// establish msg.sender (the contract's owner).
-	if len(tx.Ins) == 0 && !tx.Sig.Verify(tx.SigHash().Bytes()) {
+	if len(tx.Ins) == 0 && !tx.VerifySig() {
 		return txErr("bad signature")
 	}
 	in, err := consumeInputs(st, tx)
@@ -202,7 +202,7 @@ func applyCall(st *State, chainID ID, height uint64, blockTime int64, tx *Tx) er
 	}
 	// Calls without inputs still need a valid signature to establish
 	// msg.sender.
-	if len(tx.Ins) == 0 && !tx.Sig.Verify(tx.SigHash().Bytes()) {
+	if len(tx.Ins) == 0 && !tx.VerifySig() {
 		return txErr("bad signature")
 	}
 	in, err := consumeInputs(st, tx)

@@ -2,6 +2,7 @@ package chain
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/crypto"
 	"repro/internal/sim"
@@ -21,6 +22,9 @@ type Chain struct {
 	tip       *Block
 	canonical map[uint64]crypto.Hash        // height -> canonical block hash
 	txIndex   map[crypto.Hash][]crypto.Hash // txid -> blocks containing it (any fork)
+
+	// listeners receive a TipEvent after every canonical-tip change.
+	listeners []func(TipEvent)
 
 	// Reorgs counts canonical-tip switches to a non-descendant block;
 	// the fork experiments read it.
@@ -225,35 +229,53 @@ func (c *Chain) AddBlock(b *Block) (reorged bool, err error) {
 }
 
 // setTip switches the canonical chain to end at b, rebuilding the
-// canonical index along the changed suffix.
+// canonical index along the changed suffix and publishing a TipEvent
+// describing exactly which blocks joined and left the canonical chain.
 func (c *Chain) setTip(b *Block) {
-	if b.Header.Parent != c.tip.Hash() {
+	old := c.tip
+	reorg := false
+	if b.Header.Parent != old.Hash() {
 		// Not a simple extension: count it as a reorg if the old tip
 		// is abandoned.
-		if !c.isAncestor(c.tip, b) {
+		if !c.isAncestor(old, b) {
 			c.Reorgs++
+			reorg = true
 		}
 	}
 	c.tip = b
+	var connected, disconnected []*Block
 	for cur := b; ; {
 		h := cur.Hash()
 		if c.canonical[cur.Header.Height] == h {
 			break
 		}
+		if prevHash, ok := c.canonical[cur.Header.Height]; ok {
+			disconnected = append(disconnected, c.blocks[prevHash])
+		}
 		c.canonical[cur.Header.Height] = h
+		connected = append(connected, cur)
 		if cur.Header.Height == 0 {
 			break
 		}
 		cur = c.blocks[cur.Header.Parent]
 	}
+	// The walk above collects newest-first; events report oldest-first.
+	slices.Reverse(connected)
+	slices.Reverse(disconnected)
 	// Drop canonical entries above the new tip (after a reorg to a
 	// shorter-but-heavier chain; cannot happen with pure longest-chain
-	// but kept for safety).
+	// but kept for safety). These leave the canonical chain too.
 	for hgt := b.Header.Height + 1; ; hgt++ {
-		if _, ok := c.canonical[hgt]; !ok {
+		h, ok := c.canonical[hgt]
+		if !ok {
 			break
 		}
+		disconnected = append(disconnected, c.blocks[h])
 		delete(c.canonical, hgt)
+	}
+	ev := TipEvent{Old: old, New: b, Connected: connected, Disconnected: disconnected, Reorg: reorg}
+	for _, fn := range c.listeners {
+		fn(ev)
 	}
 }
 

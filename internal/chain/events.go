@@ -1,0 +1,37 @@
+package chain
+
+// TipEvent describes one canonical-tip change of a chain view — the
+// structured notification the storage layer publishes instead of
+// making every watcher re-scan TipState on a timer. Participants in
+// the paper's protocols are reactive: they act when SCw's state or a
+// redemption witness *becomes visible*, so the view tells them exactly
+// when visibility changed and what changed.
+type TipEvent struct {
+	// Old and New are the previous and new canonical tip blocks.
+	Old, New *Block
+	// Connected lists the blocks that joined the canonical chain,
+	// oldest first. On a plain extension it is just the new tip; on a
+	// reorg it is the whole adopted branch above the fork point.
+	Connected []*Block
+	// Disconnected lists the blocks that left the canonical chain,
+	// oldest first. Non-empty only when a fork was abandoned — their
+	// transactions are no longer confirmed and must be re-announced
+	// (the miner layer returns them to the mempool) or retracted.
+	Disconnected []*Block
+	// Reorg reports that the old tip itself was abandoned (the view's
+	// Reorgs counter incremented with this event).
+	Reorg bool
+}
+
+// OnTipChange registers fn to run synchronously whenever the canonical
+// tip changes, in registration order. The chain view is fully updated
+// when fn runs, so fn may read any query method; it must not mutate
+// the view. Listeners are for the node layer — actors that need
+// scheduled, cancelable delivery subscribe through miner.Node's signal
+// instead.
+func (c *Chain) OnTipChange(fn func(TipEvent)) {
+	if fn == nil {
+		panic("chain: OnTipChange with nil listener")
+	}
+	c.listeners = append(c.listeners, fn)
+}

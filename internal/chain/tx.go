@@ -96,6 +96,15 @@ type Tx struct {
 	// Sig signs SigHash(); its signer must own every input. Genesis
 	// and coinbase transactions are unsigned.
 	Sig crypto.Signature
+
+	// Memoized pure derivations. Transactions are immutable once
+	// constructed (builders sign as the last step, DecodeTx returns
+	// finished values), and the same *Tx is validated by every node's
+	// chain view in a simulated network — re-hashing the body and
+	// re-verifying the ed25519 signature per view dominated run time
+	// before these caches.
+	memoID    *crypto.Hash
+	memoSigOK int8 // 0 unknown, +1 valid, -1 invalid
 }
 
 // encodeBody writes the canonical signed portion of the transaction.
@@ -135,17 +144,42 @@ func (tx *Tx) encodeBody(buf *bytes.Buffer) {
 	writeU64(tx.Value)
 }
 
-// SigHash returns the digest the transaction signature covers.
+// SigHash returns the digest the transaction signature covers,
+// computed once and cached (the body is immutable after
+// construction).
 func (tx *Tx) SigHash() crypto.Hash {
+	if tx.memoID != nil {
+		return *tx.memoID
+	}
 	var buf bytes.Buffer
 	tx.encodeBody(&buf)
-	return crypto.Sum(buf.Bytes())
+	h := crypto.Sum(buf.Bytes())
+	tx.memoID = &h
+	return h
 }
 
 // ID returns the transaction identifier. It covers the signed body
 // only; the Nonce field disambiguates intentional duplicates, and
 // signature malleability is irrelevant in this simulation.
 func (tx *Tx) ID() crypto.Hash { return tx.SigHash() }
+
+// VerifySig reports whether Sig validly signs the transaction body,
+// caching the verdict: every chain view that applies this transaction
+// asks the same question about the same immutable value, and ed25519
+// verification is the single most expensive operation in the
+// simulation. Tampering with a transaction after its first
+// verification is not modeled (adversaries forge fresh transactions
+// instead).
+func (tx *Tx) VerifySig() bool {
+	if tx.memoSigOK == 0 {
+		if tx.Sig.Verify(tx.SigHash().Bytes()) {
+			tx.memoSigOK = 1
+		} else {
+			tx.memoSigOK = -1
+		}
+	}
+	return tx.memoSigOK > 0
+}
 
 // Encode serializes the full transaction (body + signature) for
 // embedding in blocks and SPV evidence.

@@ -24,7 +24,13 @@ type TWConfig struct {
 	// AbortAfter (>0): the initiator requests a refund signature if
 	// the AC2T has not committed by then.
 	AbortAfter sim.Time
-	PollEvery  sim.Time
+	// RetryEvery is the base backoff interval for re-asking Trent
+	// after a refusal (typically "contracts not deep enough yet at my
+	// view"); the retry fires after six intervals. The protocol
+	// itself is fully event-driven — confirmations and announcements
+	// carry it forward — this timer only covers the case where every
+	// confirmation already arrived but Trent's own view lags.
+	RetryEvery sim.Time
 }
 
 // TWRun is one executing AC3TW commitment.
@@ -65,8 +71,8 @@ func NewTW(w *xchain.World, cfg TWConfig) (*TWRun, error) {
 	if cfg.Graph == nil || len(cfg.Participants) == 0 || cfg.Initiator == nil || cfg.Trent == nil {
 		return nil, fmt.Errorf("core: incomplete AC3TW config")
 	}
-	if cfg.PollEvery <= 0 {
-		cfg.PollEvery = 5 * sim.Second
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = 5 * sim.Second
 	}
 	return &TWRun{
 		w:           w,
@@ -175,7 +181,7 @@ func (r *TWRun) onMessage(p *xchain.Participant, msg any) {
 // maybeRequestRedeem asks Trent for the redemption signature once all
 // contracts are confirmed.
 func (r *TWRun) maybeRequestRedeem() {
-	if r.requested {
+	if r.requested || r.decision != 0 {
 		return
 	}
 	for _, c := range r.confirmed {
@@ -192,7 +198,13 @@ func (r *TWRun) maybeRequestRedeem() {
 	r.cfg.Trent.RequestRedeem(r.msID, r.addrs, r.cfg.ConfirmDepth, func(sig crypto.Signature, p crypto.Purpose, err error) {
 		if err != nil {
 			r.event(-1, "Trent refused: "+err.Error())
-			r.requested = false // retry on next confirmation event
+			r.requested = false
+			// Retry on the next confirmation event — or, if every
+			// confirmation already arrived and only Trent's view
+			// lags, on an explicit backoff timer. Without the timer
+			// a refusal after the last announcement would stall the
+			// run forever.
+			r.w.Sim.After(6*r.cfg.RetryEvery, r.maybeRequestRedeem)
 			return
 		}
 		r.onDecision(p, sig)

@@ -3,12 +3,17 @@
 // witness network coordinates the AC2T) and AC3TW (Section 4.1, the
 // centralized-witness strawman it improves on).
 //
-// Participants are modeled as reconcilers: a participant periodically
-// inspects the chains through its clients and performs the next
-// enabled action — deploy the coordinator, verify it, deploy its own
-// asset contracts, push the commit/abort decision, redeem or refund.
-// Because every step is recoverable from on-chain state, a crashed
-// participant that restarts simply resumes — which is precisely the
+// Participants are modeled as reconcilers: a participant inspects the
+// chains through its clients and performs the next enabled action —
+// deploy the coordinator, verify it, deploy its own asset contracts,
+// push the commit/abort decision, redeem or refund. Reconciliation is
+// notification-driven: drive runs when one of the participant's chain
+// views changes tip (the miner layer's subscription bus), when an
+// off-chain announcement arrives, or when an explicit protocol timer
+// (the abort deadline, the decision-push grace period) expires — never
+// on a fixed polling cadence. Because every step is recoverable from
+// on-chain state, a crashed participant that restarts simply re-arms
+// its subscriptions and resumes — which is precisely the
 // all-or-nothing property the paper proves and the baselines lack.
 package core
 
@@ -54,9 +59,12 @@ type Config struct {
 	// AC2T has not committed by start+AbortAfter — the paper's "a
 	// participant changes her mind / declines" path.
 	AbortAfter sim.Time
-	// PollEvery overrides the reconciler cadence (default: half the
-	// witness block interval).
-	PollEvery sim.Time
+	// RetryEvery is the base interval for throttling retried on-chain
+	// actions (default: half the witness block interval). It no longer
+	// drives the reconciler — notifications do — it only stops an
+	// action that keeps failing from being re-submitted on every
+	// wakeup.
+	RetryEvery sim.Time
 }
 
 // pstate is per-participant protocol state (lost on crash only if the
@@ -64,7 +72,8 @@ type Config struct {
 // reconstructed from chain state plus the off-chain announcements,
 // and Resume re-arms it).
 type pstate struct {
-	poller       *sim.Poller
+	subs         []*miner.Sub // tip-change subscriptions, one per chain
+	graceArmed   bool         // decision-push grace timer pending
 	deployedOwn  bool
 	verifiedSCw  bool
 	rejectedSCw  bool
@@ -142,8 +151,8 @@ func New(w *xchain.World, cfg Config) (*Run, error) {
 			return nil, fmt.Errorf("core: no participant object for vertex %s", v)
 		}
 	}
-	if cfg.PollEvery <= 0 {
-		cfg.PollEvery = w.Nets[cfg.WitnessChain].Params.BlockInterval / 2
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = w.Nets[cfg.WitnessChain].Params.BlockInterval / 2
 	}
 	r := &Run{
 		w:                w,
@@ -171,34 +180,54 @@ func (r *Run) Start() {
 	for _, p := range r.cfg.Participants {
 		p := p
 		p.OnMessage(func(from *xchain.Participant, msg any) { r.onMessage(p, msg) })
-		r.armPoller(p)
+		r.subscribe(p)
 	}
 	if r.cfg.AbortAfter > 0 {
 		r.w.Sim.After(r.cfg.AbortAfter, func() { r.abortIfUndecided() })
 	}
+	// Kick the reconcilers once so the initiator publishes SCw without
+	// waiting for the first block; afterwards notifications take over.
+	for _, p := range r.cfg.Participants {
+		if !p.Crashed() {
+			r.drive(p)
+		}
+	}
 }
 
-// Resume re-arms a recovered participant's reconciler. The
-// participant re-learns everything else from the chains.
+// Resume re-arms a recovered participant's subscriptions and re-drives
+// it. The participant re-learns everything else from the chains.
 func (r *Run) Resume(p *xchain.Participant) {
 	if p.Crashed() {
 		return
 	}
-	r.armPoller(p)
+	r.subscribe(p)
+	r.drive(p)
 }
 
-func (r *Run) armPoller(p *xchain.Participant) {
+// subscribe points the participant's reconciler at the notification
+// bus: every chain the AC2T touches (asset chains and the witness
+// chain) re-drives p when its canonical tip changes. The subscriptions
+// die with the participant's clients on crash; Resume re-arms them —
+// the crash/recovery story is unchanged from the polling reconciler.
+func (r *Run) subscribe(p *xchain.Participant) {
 	st := r.states[p]
-	if st.poller != nil {
-		st.poller.Cancel()
+	for _, sub := range st.subs {
+		sub.Cancel() // idempotent; safe on crashed-and-dead subs
 	}
-	st.poller = r.w.Sim.Poll(r.cfg.PollEvery, func() bool {
-		if p.Crashed() {
-			return true // dies with the crash; Resume re-arms
+	st.subs = st.subs[:0]
+	chains := append([]chain.ID{r.cfg.WitnessChain}, r.cfg.Graph.Chains()...)
+	seen := make(map[chain.ID]bool, len(chains))
+	for _, id := range chains {
+		if seen[id] {
+			continue
 		}
-		r.drive(p)
-		return false
-	})
+		seen[id] = true
+		st.subs = append(st.subs, p.Client(id).OnTipChange(func() {
+			if !p.Crashed() {
+				r.drive(p)
+			}
+		}))
+	}
 }
 
 // event appends a timeline entry.
@@ -249,7 +278,9 @@ func (r *Run) onMessage(p *xchain.Participant, msg any) {
 }
 
 // drive is the reconciler: inspect the world through p's clients and
-// take the next enabled action. Idempotent; safe to call at any time.
+// take the next enabled action. Idempotent; safe to call at any time —
+// it runs on every tip-change notification, on off-chain announcement
+// arrival, and when a protocol timer expires.
 func (r *Run) drive(p *xchain.Participant) {
 	st := r.states[p]
 	now := r.w.Sim.Now()
@@ -257,7 +288,7 @@ func (r *Run) drive(p *xchain.Participant) {
 	// Phase 1: the initiator publishes SCw.
 	if r.scwAddr.IsZero() {
 		if p == r.cfg.Initiator {
-			st.throttled(now, "deploy-scw", 4*r.cfg.PollEvery, func() { r.deploySCw(p) })
+			st.throttled(now, "deploy-scw", 4*r.cfg.RetryEvery, func() { r.deploySCw(p) })
 		}
 		return
 	}
@@ -307,11 +338,25 @@ func (r *Run) drive(p *xchain.Participant) {
 				// the others follow after a rank-staggered grace
 				// period, so any live participant eventually pushes
 				// the decision (no single coordinator) without
-				// everyone racing to pay the same fee.
-				if r.allConfirmed() && !st.submittedRD && now >= r.AllDeployedAt+r.pushGrace(p) {
-					st.throttled(now, "authorize-redeem", 6*r.cfg.PollEvery, func() {
-						r.submitAuthorizeRedeem(p, st)
-					})
+				// everyone racing to pay the same fee. The grace wait
+				// is an explicit timer, not a polling cadence: drive
+				// re-runs exactly when the grace period expires.
+				if r.allConfirmed() && !st.submittedRD {
+					due := r.AllDeployedAt + r.pushGrace(p)
+					switch {
+					case now >= due:
+						st.throttled(now, "authorize-redeem", 6*r.cfg.RetryEvery, func() {
+							r.submitAuthorizeRedeem(p, st)
+						})
+					case !st.graceArmed:
+						st.graceArmed = true
+						r.w.Sim.At(due, func() {
+							st.graceArmed = false
+							if !p.Crashed() {
+								r.drive(p)
+							}
+						})
+					}
 				}
 			}
 		}
@@ -560,7 +605,7 @@ func (r *Run) trySubmitRefund(p *xchain.Participant, st *pstate, now sim.Time) {
 	if st.submittedRF || r.scwAddr.IsZero() {
 		return
 	}
-	st.throttled(now, "authorize-refund", 6*r.cfg.PollEvery, func() {
+	st.throttled(now, "authorize-refund", 6*r.cfg.RetryEvery, func() {
 		client := p.Client(r.cfg.WitnessChain)
 		if _, err := client.Call(r.scwAddr, contracts.FnAuthorizeRefund, nil, 0); err == nil {
 			p.Calls++
@@ -612,7 +657,7 @@ func (r *Run) settle(p *xchain.Participant, st *pstate, now sim.Time, commit boo
 			r.noteTerminal(i, sc, isSC)
 			continue
 		}
-		st.throttled(now, fmt.Sprintf("%s-%d", action, i), 6*r.cfg.PollEvery, func() {
+		st.throttled(now, fmt.Sprintf("%s-%d", action, i), 6*r.cfg.RetryEvery, func() {
 			ev, err := r.witnessEvidenceFor(p, sc, fn)
 			if err != nil {
 				return

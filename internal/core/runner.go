@@ -42,15 +42,16 @@ func (r *Run) Settled() bool {
 	return deployed || r.DecidedOutcome == contracts.WitnessRefundAuthorized
 }
 
-// Stop cancels every participant reconciler this run armed. The
+// Stop cancels every participant subscription this run armed. The
 // engine calls it when retiring a graded run so finished transactions
-// stop consuming simulator events.
+// stop consuming simulator events. Cancel is idempotent, so Stop is
+// safe after crashes already tore the subscriptions down.
 func (r *Run) Stop() {
 	for _, st := range r.states {
-		if st.poller != nil {
-			st.poller.Cancel()
-			st.poller = nil
+		for _, sub := range st.subs {
+			sub.Cancel()
 		}
+		st.subs = nil
 	}
 }
 

@@ -109,6 +109,12 @@ type Aggregate struct {
 	ThroughputTPSVirtual float64 `json:"throughput_tps_virtual"`
 	// SimEvents totals dispatched simulator events (work proxy).
 	SimEvents uint64 `json:"sim_events"`
+	// SimEventsPerTx is SimEvents divided by graded transactions — the
+	// simulator-event cost of settling one AC2T. This is the number
+	// the notification-bus refactor is graded on: polling reconcilers
+	// burn events on no-op wakeups, subscriptions only pay when chain
+	// state actually changes.
+	SimEventsPerTx float64 `json:"sim_events_per_tx"`
 
 	PerShard []ShardResult `json:"per_shard"`
 }
@@ -210,6 +216,9 @@ func (e *Engine) assemble(results []*ShardResult) *Aggregate {
 	agg.LatencyP99Ms = percentile(all, 99)
 	if agg.MakespanVirtualMs > 0 {
 		agg.ThroughputTPSVirtual = float64(agg.Graded) / (float64(agg.MakespanVirtualMs) / 1000)
+	}
+	if agg.Graded > 0 {
+		agg.SimEventsPerTx = float64(agg.SimEvents) / float64(agg.Graded)
 	}
 	return agg
 }

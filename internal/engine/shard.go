@@ -32,8 +32,11 @@ const (
 	// settleGrace delays grading after quiescence so depth-0 reads
 	// cannot be flipped back by a late fork race.
 	settleGrace = 20 * sim.Second
-	// donePollEvery is the per-transaction quiescence poll cadence.
-	donePollEvery = 5 * sim.Second
+	// quiesceCheckEvery is the shard-level safety-net cadence of
+	// RunUntilDone. Transaction progress is notification-driven (the
+	// shard watches every chain's ground-truth view); this coarse
+	// check only bounds the run when notifications stop coming.
+	quiesceCheckEvery = sim.Minute
 )
 
 // txSpec is one generated AC2T: arrival offset, ring size, scenario.
@@ -48,6 +51,14 @@ type txState struct {
 	runner core.Runner
 	parts  []*xchain.Participant
 	graded bool
+	// finishing: Settled held and the settle-grace finish is pending.
+	finishing bool
+	// deadline is the absolute grading deadline.
+	deadline sim.Time
+	// hook is the scenario's chain-watch (crash victims, decision
+	// racers), evaluated on every shard activity notification until it
+	// reports done.
+	hook func() bool
 }
 
 // shardExec executes one shard: an independent deterministic world
@@ -71,6 +82,12 @@ type shardExec struct {
 	specs []txSpec
 	parts [][]*xchain.Participant // per tx, disjoint
 	txs   []txState
+
+	// activity fires when any chain's ground-truth view changes tip;
+	// it drives all in-flight quiescence checks and scenario hooks.
+	activity  *sim.Signal
+	actWaiter *sim.Waiter
+	activeIdx []int // in-flight transaction indices, admission order
 
 	inFlight int
 	queue    []int
@@ -99,11 +116,14 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *C
 	}
 	// Hard virtual-time cap: even if every transaction runs to its
 	// timeout in maximally backpressured batches, the stream fits.
+	// Quiescence is signaled (finish stops the sim when the last
+	// transaction grades); the coarse RunUntilDone check is only the
+	// safety net for a world that stops producing notifications.
 	last := e.specs[len(e.specs)-1].arrival
 	batches := sim.Time((txCount+wl.MaxInFlight-1)/wl.MaxInFlight + 2)
 	deadline := last + batches*(wl.TxTimeout+settleGrace+sim.Minute)
 	done := func() bool { return e.res.Graded == txCount }
-	if !s.RunUntilDone(done, 10*sim.Second, deadline) {
+	if !s.RunUntilDone(done, quiesceCheckEvery, deadline) {
 		return nil, fmt.Errorf("engine: shard %d did not quiesce by virtual deadline (graded %d/%d)",
 			idx, e.res.Graded, txCount)
 	}
@@ -155,6 +175,13 @@ func (e *shardExec) buildWorld(txCount int) error {
 		return fmt.Errorf("engine: shard %d world: %w", e.idx, err)
 	}
 	e.w = w
+	// The shard's own notification feed: any tip change of any chain's
+	// ground-truth view (same-instant changes coalesce into one event)
+	// re-evaluates the in-flight transactions.
+	e.activity = e.s.NewSignal()
+	for _, id := range w.Chains() {
+		w.View(id).OnTipChange(func(chain.TipEvent) { e.activity.Notify() })
+	}
 	if e.wl.Protocol == ProtoAC3TW {
 		e.trent = core.NewTrent(w, e.seed^0x7e27, 200*sim.Millisecond)
 	}
@@ -185,7 +212,10 @@ func (e *shardExec) admit(i int) {
 }
 
 // start builds the graph and runner for transaction i, applies its
-// scenario, and arms the quiescence watch.
+// scenario, and joins it to the shard's notification-driven
+// quiescence watch: progress is re-checked whenever a ground-truth
+// view changes tip, and the grading deadline is an explicit one-shot
+// timer.
 func (e *shardExec) start(i int) {
 	e.inFlight++
 	spec := e.specs[i]
@@ -210,24 +240,52 @@ func (e *shardExec) start(i int) {
 		return
 	}
 	st.runner = runner
+	st.deadline = e.s.Now() + e.wl.TxTimeout
+	e.activeIdx = append(e.activeIdx, i)
 	runner.Start()
 	e.applyScenario(i, runner, ps, spec)
+	e.s.At(st.deadline, func() { e.checkTx(i) })
+	e.armActivity()
+}
 
-	deadline := e.s.Now() + e.wl.TxTimeout
-	e.s.Poll(donePollEvery, func() bool {
-		if st.graded {
-			return true
-		}
-		if runner.Settled() {
-			e.s.After(settleGrace, func() { e.finish(i, runner) })
-			return true
-		}
-		if e.s.Now() >= deadline {
-			e.finish(i, runner)
-			return true
-		}
-		return false
-	})
+// armActivity keeps exactly one waiter on the shard's activity signal
+// while transactions are in flight.
+func (e *shardExec) armActivity() {
+	if e.actWaiter != nil || len(e.activeIdx) == 0 {
+		return
+	}
+	e.actWaiter = e.activity.Wait(e.onActivity)
+}
+
+// onActivity re-evaluates every in-flight transaction after a
+// ground-truth tip change, then re-arms.
+func (e *shardExec) onActivity() {
+	e.actWaiter = nil
+	for _, i := range append([]int(nil), e.activeIdx...) {
+		e.checkTx(i)
+	}
+	e.armActivity()
+}
+
+// checkTx advances transaction i's lifecycle: run its scenario hook,
+// schedule the settle-grace finish once the runner quiesced, or grade
+// it as-is at the deadline.
+func (e *shardExec) checkTx(i int) {
+	st := &e.txs[i]
+	if st.graded || st.finishing {
+		return
+	}
+	if st.hook != nil && st.hook() {
+		st.hook = nil
+	}
+	if st.runner != nil && st.runner.Settled() {
+		st.finishing = true
+		e.s.After(settleGrace, func() { e.finish(i, st.runner) })
+		return
+	}
+	if e.s.Now() >= st.deadline {
+		e.finish(i, st.runner)
+	}
 }
 
 // graphStamp derives a unique graph timestamp for transaction i.
@@ -275,6 +333,9 @@ func (e *shardExec) newRunner(g *graph.Graph, ps []*xchain.Participant, spec txS
 }
 
 // applyScenario installs the per-scenario fault or adversary hooks.
+// Hooks are notification-driven: they ride the shard's activity feed
+// (evaluated after every ground-truth tip change) instead of their own
+// pollers, and report done to detach.
 func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Participant, spec txSpec) {
 	st := &e.txs[i]
 	victim := ps[len(ps)-1]
@@ -290,7 +351,7 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 		// redeems; HTLC loses the victim's incoming assets.
 		switch r := runner.(type) {
 		case *core.Run:
-			e.s.Poll(2*sim.Second, func() bool {
+			st.hook = func() bool {
 				if st.graded || victim.Crashed() {
 					return true
 				}
@@ -307,9 +368,9 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 				}
 				// Decision went to refund instead — nothing to crash.
 				return r.DecidedAt != 0
-			})
+			}
 		case *swap.Run:
-			e.s.Poll(2*sim.Second, func() bool {
+			st.hook = func() bool {
 				if st.graded || victim.Crashed() {
 					return true
 				}
@@ -318,7 +379,7 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 					return true
 				}
 				return false
-			})
+			}
 		}
 	case ScenarioRace:
 		// A rogue participant races the honest decision: it pushes
@@ -327,7 +388,7 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 		// whichever way it goes.
 		if r, ok := runner.(*core.Run); ok {
 			rogue := victim
-			e.s.Poll(2*sim.Second, func() bool {
+			st.hook = func() bool {
 				if st.graded {
 					return true
 				}
@@ -335,11 +396,9 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 				if scw.IsZero() {
 					return false
 				}
-				if _, err := rogue.Client(e.witness).Call(scw, contracts.FnAuthorizeRefund, nil, 0); err == nil {
-					return true
-				}
-				return false
-			})
+				_, err := rogue.Client(e.witness).Call(scw, contracts.FnAuthorizeRefund, nil, 0)
+				return err == nil
+			}
 		}
 	}
 }
@@ -352,6 +411,13 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 		return
 	}
 	st.graded = true
+	st.hook = nil
+	for k, idx := range e.activeIdx {
+		if idx == i {
+			e.activeIdx = append(e.activeIdx[:k], e.activeIdx[k+1:]...)
+			break
+		}
+	}
 	sc := e.specs[i].scenario
 
 	var committed, aborted, violated bool
@@ -384,6 +450,11 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 		next := e.queue[0]
 		e.queue = e.queue[1:]
 		e.start(next)
+	}
+	if e.res.Graded == len(e.txs) {
+		// Last transaction graded: stop the virtual clock instead of
+		// waiting for the safety-net check to notice.
+		e.s.Stop()
 	}
 }
 

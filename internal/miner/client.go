@@ -14,11 +14,15 @@ import (
 // multicasts transactions to the storage layer, tracks confirmation
 // depths, and manages a simple UTXO wallet.
 //
-// All waiting is callback-based on the simulator clock. Clients
-// resubmit transactions that fall out of the chain (reorgs, mempool
-// purges), so "submitted" eventually means "committed at depth d"
-// unless the client is halted — which is exactly the crash model the
-// paper's Section 1 failure scenario needs.
+// All waiting is notification-driven on the attached node's tip-change
+// signal: a watch's condition is re-evaluated only when the node's
+// canonical chain actually changed, never on a timer. The single
+// surviving poll is the resubmit fallback — a slow timer that
+// re-multicasts a watched transaction that fell out of the chain
+// (reorgs, mempool purges, crashed miners), so "submitted" eventually
+// means "committed at depth d" unless the client is halted — which is
+// exactly the crash model the paper's Section 1 failure scenario
+// needs.
 type Client struct {
 	Key  *crypto.KeyPair
 	node *Node
@@ -28,29 +32,66 @@ type Client struct {
 
 	nonce    uint64
 	reserved map[chain.OutPoint]bool
-	pollers  []*sim.Poller
-	halted   bool
 
-	// PollInterval controls how often watches re-check the node's
-	// view; defaults to a quarter block interval.
-	PollInterval sim.Time
+	watches []*watch
+	waiter  *sim.Waiter // armed on the node's tip signal while watches exist
+	halted  bool
+	closed  bool
+
+	// ResubmitEvery is the fallback-resubmission cadence: a watched
+	// transaction absent from the canonical chain for a whole interval
+	// is re-multicast. Defaults to three block intervals.
+	ResubmitEvery sim.Time
 
 	// Resubmits counts transaction re-broadcasts (diagnostics).
 	Resubmits int
 }
+
+// watch is one pending condition: check reports (and side-effects)
+// satisfaction; fallback is the optional resubmit timer that keeps the
+// watched transaction alive while the condition is pending.
+type watch struct {
+	check    func() bool
+	fallback *sim.Poller
+	canceled bool
+}
+
+// stop retires the watch and its fallback timer. Idempotent.
+func (w *watch) stop() {
+	w.canceled = true
+	if w.fallback != nil {
+		w.fallback.Cancel()
+	}
+}
+
+// Sub is a persistent tip-change subscription handle (see
+// Client.OnTipChange). Cancel is idempotent.
+type Sub struct{ w *watch }
+
+// Cancel detaches the subscription. Safe to call repeatedly, on an
+// already-dead subscription, or on one that was registered while the
+// client was halted.
+func (s *Sub) Cancel() {
+	if s.w != nil {
+		s.w.stop()
+	}
+}
+
+// Active reports whether the subscription can still fire.
+func (s *Sub) Active() bool { return s.w != nil && !s.w.canceled }
 
 // NewClient attaches a fresh client identity to node i of the
 // network.
 func NewClient(net *Network, nodeIndex int, key *crypto.KeyPair) *Client {
 	n := net.Node(nodeIndex)
 	return &Client{
-		Key:          key,
-		node:         n,
-		net:          net,
-		sim:          net.Sim,
-		rng:          net.Sim.RNG().Fork(),
-		reserved:     make(map[chain.OutPoint]bool),
-		PollInterval: net.Params.BlockInterval / 4,
+		Key:           key,
+		node:          n,
+		net:           net,
+		sim:           net.Sim,
+		rng:           net.Sim.RNG().Fork(),
+		reserved:      make(map[chain.OutPoint]bool),
+		ResubmitEvery: 3 * net.Params.BlockInterval,
 	}
 }
 
@@ -60,37 +101,132 @@ func (c *Client) Chain() *chain.Chain { return c.node.Chain }
 // ChainID returns the id of the blockchain this client talks to.
 func (c *Client) ChainID() chain.ID { return c.net.Params.ID }
 
-// Halt models an end-user site crash: pending watches stop firing and
-// no further submissions happen until Restart.
+// Halt models an end-user site crash: pending watches and their
+// fallback timers stop firing and no further submissions happen until
+// Restart. Watches registered while halted are dropped silently — a
+// recovering participant re-arms its protocol from on-chain state.
 func (c *Client) Halt() {
 	c.halted = true
-	for _, p := range c.pollers {
-		p.Cancel()
+	if c.waiter != nil {
+		c.waiter.Cancel()
+		c.waiter = nil
 	}
-	c.pollers = nil
+	for _, w := range c.watches {
+		w.stop()
+	}
+	c.watches = nil
 }
 
+// Close permanently shuts the client down: like Halt, every pending
+// watch and fallback poller is canceled — but a closed client never
+// comes back. Restart is a no-op and watches registered after Close
+// never arm a poller or a waiter in the first place, so no timer can
+// leak past Close. Idempotent.
+func (c *Client) Close() {
+	c.closed = true
+	c.Halt()
+}
+
+// Closed reports whether the client was permanently shut down.
+func (c *Client) Closed() bool { return c.closed }
+
 // Restart recovers a halted client. Watches must be re-established by
-// the caller (a recovering participant re-drives its protocol).
-func (c *Client) Restart() { c.halted = false }
+// the caller (a recovering participant re-drives its protocol). A
+// closed client cannot restart.
+func (c *Client) Restart() {
+	if c.closed {
+		return
+	}
+	c.halted = false
+}
 
 // Halted reports whether the client is down.
 func (c *Client) Halted() bool { return c.halted }
 
+// addWatch registers a condition and makes sure the client is waiting
+// on its node's tip signal.
+func (c *Client) addWatch(w *watch) {
+	c.watches = append(c.watches, w)
+	c.ensureArmed()
+}
+
+// ensureArmed keeps exactly one waiter on the node's tip signal while
+// the client has live watches. One waiter serves every watch: a tip
+// change costs the client a single evaluation pass, not one wakeup
+// per watch.
+func (c *Client) ensureArmed() {
+	if c.waiter != nil || c.halted || len(c.watches) == 0 {
+		return
+	}
+	c.waiter = c.node.TipChanged().Wait(c.onTip)
+}
+
+// onTip re-evaluates every watch after a tip change, retiring the
+// satisfied ones, then re-arms. Callbacks may register new watches;
+// those join the list for the next evaluation.
+func (c *Client) onTip() {
+	c.waiter = nil
+	if c.halted {
+		return
+	}
+	batch := c.watches
+	c.watches = nil // callbacks registering new watches append to a fresh list
+	var kept []*watch
+	for _, w := range batch {
+		if c.halted {
+			// A callback halted this client mid-evaluation; the batch
+			// is detached from c.watches, so retire the rest here.
+			w.stop()
+			continue
+		}
+		if w.canceled {
+			continue
+		}
+		if w.check() {
+			w.stop()
+			continue
+		}
+		kept = append(kept, w)
+	}
+	if c.halted {
+		for _, w := range append(kept, c.watches...) {
+			w.stop()
+		}
+		c.watches = nil
+		return
+	}
+	c.watches = append(kept, c.watches...)
+	c.ensureArmed()
+}
+
+// OnTipChange registers a persistent subscription: fn runs after every
+// canonical-tip change of the client's node until the subscription is
+// canceled or the client halts. This is what protocol reconcilers
+// drive on instead of a cadence poller. Registered while halted or
+// closed, the subscription is inert (Cancel stays safe).
+func (c *Client) OnTipChange(fn func()) *Sub {
+	if c.halted || c.closed {
+		return &Sub{}
+	}
+	w := &watch{check: func() bool { fn(); return false }}
+	c.addWatch(w)
+	return &Sub{w: w}
+}
+
 // Submit multicasts a signed transaction to every live mining node,
-// modeling the paper's end-user-to-storage-layer message passing.
+// modeling the paper's end-user-to-storage-layer message passing. The
+// multicast is one scheduled event delivering to all nodes.
 func (c *Client) Submit(tx *chain.Tx) {
 	if c.halted || tx == nil {
 		return
 	}
-	for _, n := range c.net.Nodes {
-		n := n
-		c.sim.After(c.submitDelay(), func() {
+	c.sim.After(c.submitDelay(), func() {
+		for _, n := range c.net.Nodes {
 			if n.Alive() {
 				n.SubmitLocal(tx)
 			}
-		})
-	}
+		}
+	})
 }
 
 // submitDelay samples a small client-to-miner latency.
@@ -197,28 +333,24 @@ func (c *Client) Call(contract crypto.Address, fn string, args []byte, value vm.
 	return tx, nil
 }
 
-// resubmitAfterPolls is how many unsuccessful polls a watch tolerates
-// before re-multicasting the transaction.
-const resubmitAfterPolls = 12
-
 // WhenTxAtDepth invokes fn once the transaction is on the canonical
-// chain buried at least depth blocks, resubmitting it if it drops out
-// of the chain meanwhile. The watch dies silently if the client is
-// halted (crash).
+// chain buried at least depth blocks. The condition is re-checked on
+// every tip change of the client's node — including reorgs: a tx
+// confirmed on a losing fork simply keeps the watch pending until it
+// lands on the canonical chain again. A slow fallback timer
+// re-multicasts the transaction whenever it is absent from the
+// canonical chain for a whole ResubmitEvery, covering mempool wipes
+// and fork losses even while no blocks arrive. The watch dies silently
+// if the client is halted (crash).
 func (c *Client) WhenTxAtDepth(tx *chain.Tx, depth int, fn func(blockHash crypto.Hash)) {
-	if c.halted {
+	if c.halted || c.closed {
 		return
 	}
 	id := tx.ID()
-	misses := 0
-	p := c.sim.Poll(c.PollInterval, func() bool {
+	w := &watch{}
+	w.check = func() bool {
 		b, _, found := c.Chain().FindTx(id)
 		if !found {
-			misses++
-			if misses%resubmitAfterPolls == 0 {
-				c.Resubmits++
-				c.Submit(tx)
-			}
 			return false
 		}
 		d, ok := c.Chain().DepthOf(b.Hash())
@@ -227,26 +359,38 @@ func (c *Client) WhenTxAtDepth(tx *chain.Tx, depth int, fn func(blockHash crypto
 		}
 		fn(b.Hash())
 		return true
+	}
+	w.fallback = c.sim.Poll(c.ResubmitEvery, func() bool {
+		if w.canceled || c.halted {
+			return true
+		}
+		if _, _, found := c.Chain().FindTx(id); !found {
+			c.Resubmits++
+			c.Submit(tx)
+		}
+		return false
 	})
-	c.pollers = append(c.pollers, p)
+	c.addWatch(w)
 }
 
 // WhenContract invokes fn once pred holds for the contract's state at
 // the given confirmation depth (depth 0 reads the tip). The predicate
-// sees a read-only contract snapshot.
+// sees a read-only contract snapshot and is evaluated only when the
+// node's canonical chain changes — contract state at any depth cannot
+// change otherwise.
 func (c *Client) WhenContract(addr crypto.Address, depth int, pred func(vm.Contract) bool, fn func()) {
-	if c.halted {
+	if c.halted || c.closed {
 		return
 	}
-	p := c.sim.Poll(c.PollInterval, func() bool {
+	w := &watch{check: func() bool {
 		ct, ok := c.Chain().ContractAtDepth(addr, depth)
 		if !ok || !pred(ct) {
 			return false
 		}
 		fn()
 		return true
-	})
-	c.pollers = append(c.pollers, p)
+	}}
+	c.addWatch(w)
 }
 
 // ContractNow reads a contract's current state at the given depth.

@@ -39,11 +39,12 @@ type Node struct {
 	rng   *sim.RNG
 	share float64 // fraction of total hash power
 
-	mempool  *mempool
-	orphans  map[crypto.Hash]*chain.Block // parent hash -> waiting block
-	alive    bool
-	mining   bool
-	interval sim.Time // network-wide mean block interval
+	mempool    *mempool
+	orphans    map[crypto.Hash]*chain.Block // parent hash -> waiting block
+	alive      bool
+	mining     bool
+	interval   sim.Time    // network-wide mean block interval
+	tipChanged *sim.Signal // notified after every canonical-tip change
 
 	// Mined counts blocks this node mined; the throughput and attack
 	// experiments read it.
@@ -55,20 +56,51 @@ type Node struct {
 // and relay but never mine.
 func NewNode(s *sim.Sim, net *p2p.Network, id p2p.NodeID, c *chain.Chain, key *crypto.KeyPair, share float64) *Node {
 	n := &Node{
-		ID:       id,
-		Chain:    c,
-		Key:      key,
-		sim:      s,
-		net:      net,
-		rng:      s.RNG().Fork(),
-		share:    share,
-		mempool:  newMempool(),
-		orphans:  make(map[crypto.Hash]*chain.Block),
-		alive:    true,
-		interval: c.Params().BlockInterval,
+		ID:         id,
+		Chain:      c,
+		Key:        key,
+		sim:        s,
+		net:        net,
+		rng:        s.RNG().Fork(),
+		share:      share,
+		mempool:    newMempool(),
+		orphans:    make(map[crypto.Hash]*chain.Block),
+		alive:      true,
+		interval:   c.Params().BlockInterval,
+		tipChanged: s.NewSignal(),
 	}
+	c.OnTipChange(n.onTipEvent)
 	net.Register(id, n.handle)
 	return n
+}
+
+// TipChanged is the node's notification signal: it fires (via the
+// simulator clock, deterministically) after every canonical-tip change
+// of this node's chain view. Clients and other watchers wait on it
+// instead of polling the view — this is the event bus end-users'
+// Watch* APIs ride on.
+func (n *Node) TipChanged() *sim.Signal { return n.tipChanged }
+
+// onTipEvent reacts to a canonical-tip change of the node's own view:
+// transactions confirmed on a losing fork are re-announced (returned
+// to the mempool so they get mined again — they are no longer on the
+// canonical chain), and everyone waiting on the node's signal is woken.
+func (n *Node) onTipEvent(ev chain.TipEvent) {
+	if n.alive {
+		for _, b := range ev.Disconnected {
+			for _, tx := range b.Txs {
+				switch tx.Kind {
+				case chain.TxCoinbase, chain.TxGenesis:
+					continue // fork-local; never re-announced
+				}
+				if _, _, onChain := n.Chain.FindTx(tx.ID()); onChain {
+					continue // also included on the winning branch
+				}
+				n.mempool.add(tx)
+			}
+		}
+	}
+	n.tipChanged.Notify()
 }
 
 // Start begins the mining loop. Idempotent.
@@ -192,13 +224,17 @@ func (n *Node) acceptBlock(from p2p.NodeID, b *chain.Block) {
 		n.net.Send(n.ID, from, MsgGetBlock{Hash: b.Header.Parent})
 		return
 	}
+	oldTip := n.Chain.Tip()
 	reorged, err := n.Chain.AddBlock(b)
 	if err != nil {
 		return // invalid block: ignore, as real nodes do
 	}
-	if reorged {
-		// Re-gossip adopted tips so late joiners and healed
-		// partitions converge.
+	if reorged && b.Header.Parent != oldTip.Hash() {
+		// Re-gossip only genuine fork switches. A plain extension was
+		// already broadcast by its miner to every reachable node;
+		// re-flooding it would double the network's block traffic for
+		// nothing. Nodes that missed it (crashed, partitioned) catch up
+		// through the orphan-request path when the next block arrives.
 		n.net.Broadcast(n.ID, MsgBlock{Block: b})
 	}
 	// Retire included transactions from the mempool.

@@ -1,0 +1,138 @@
+package sim
+
+import "testing"
+
+func TestSignalDeliversFIFO(t *testing.T) {
+	s := New(1)
+	g := s.NewSignal()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		g.Wait(func() { order = append(order, i) })
+	}
+	s.After(10, g.Notify)
+	s.Run()
+	if len(order) != 5 {
+		t.Fatalf("delivered %d waiters, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("delivery order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestSignalNotifyWithoutWaitersIsFree(t *testing.T) {
+	s := New(1)
+	g := s.NewSignal()
+	s.After(1, func() { g.Notify() })
+	s.Run()
+	if s.Executed != 1 {
+		t.Fatalf("executed %d events, want 1 (an idle notify must not schedule)", s.Executed)
+	}
+}
+
+func TestSignalNotifyCoalesces(t *testing.T) {
+	s := New(1)
+	g := s.NewSignal()
+	fired := 0
+	g.Wait(func() { fired++ })
+	s.After(1, func() {
+		g.Notify()
+		g.Notify()
+		g.Notify()
+	})
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("waiter fired %d times, want 1", fired)
+	}
+	// Trigger + one coalesced dispatch.
+	if s.Executed != 2 {
+		t.Fatalf("executed %d events, want 2 (notifies must coalesce)", s.Executed)
+	}
+}
+
+func TestSignalWaiterIsOneShot(t *testing.T) {
+	s := New(1)
+	g := s.NewSignal()
+	fired := 0
+	g.Wait(func() { fired++ })
+	s.After(1, g.Notify)
+	s.After(2, g.Notify)
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("one-shot waiter fired %d times", fired)
+	}
+}
+
+func TestSignalRearmsAcrossNotifies(t *testing.T) {
+	s := New(1)
+	g := s.NewSignal()
+	fired := 0
+	var wait func()
+	wait = func() {
+		g.Wait(func() {
+			fired++
+			wait() // persistent subscription pattern: re-arm on fire
+		})
+	}
+	wait()
+	s.After(1, g.Notify)
+	s.After(2, g.Notify)
+	s.After(3, g.Notify)
+	s.Run()
+	if fired != 3 {
+		t.Fatalf("re-arming waiter fired %d times, want 3", fired)
+	}
+}
+
+func TestSignalCancelIsIdempotent(t *testing.T) {
+	s := New(1)
+	g := s.NewSignal()
+	fired := false
+	w := g.Wait(func() { fired = true })
+	w.Cancel()
+	w.Cancel() // re-cancel must be harmless
+	s.After(1, g.Notify)
+	s.Run()
+	if fired {
+		t.Fatal("canceled waiter fired")
+	}
+	w.Cancel() // cancel after dispatch must be harmless too
+}
+
+func TestSignalCancelDuringDispatch(t *testing.T) {
+	s := New(1)
+	g := s.NewSignal()
+	var second *Waiter
+	fired := false
+	g.Wait(func() { second.Cancel() })
+	second = g.Wait(func() { fired = true })
+	s.After(1, g.Notify)
+	s.Run()
+	if fired {
+		t.Fatal("waiter canceled earlier in the same batch still fired")
+	}
+}
+
+func TestPollerCancelIdempotent(t *testing.T) {
+	s := New(1)
+	n := 0
+	p := s.Poll(10, func() bool { n++; return n == 2 })
+	s.Run()
+	if n != 2 {
+		t.Fatalf("poll ran %d times, want 2", n)
+	}
+	if p.Active() {
+		t.Fatal("completed poller reports active")
+	}
+	// Re-canceling a completed poller (the recovery-path pattern) must
+	// be a no-op, repeatedly.
+	p.Cancel()
+	p.Cancel()
+	s.After(100, func() {})
+	s.Run()
+	if n != 2 {
+		t.Fatalf("poller fired after completion+cancel: %d", n)
+	}
+}

@@ -201,7 +201,11 @@ func (s *Sim) step() {
 func (s *Sim) Pending() int { return len(s.pending) }
 
 // Poller repeatedly runs a condition until it reports done. It is the
-// DES equivalent of a client library polling a blockchain node.
+// DES equivalent of a client library polling a blockchain node. Since
+// the notification bus (Signal) became the primary wakeup mechanism,
+// pollers survive mainly as fallback timers — resubmit loops and
+// experiment-harness quiescence checks — not as the reconciler
+// driver.
 type Poller struct {
 	sim      *Sim
 	every    Time
@@ -226,11 +230,20 @@ func (p *Poller) arm() {
 		if p.canceled {
 			return
 		}
-		if !p.fn() {
-			p.arm()
+		if p.fn() {
+			p.canceled = true // completed: a later Cancel is a no-op
+			return
 		}
+		p.arm()
 	})
 }
 
-// Cancel stops future invocations of the poller's condition.
+// Cancel stops future invocations of the poller's condition. It is
+// idempotent: canceling twice, or canceling a poller whose condition
+// already completed, is a harmless no-op — recovery paths may blindly
+// re-cancel whatever handles they hold.
 func (p *Poller) Cancel() { p.canceled = true }
+
+// Active reports whether the poller may still fire (not canceled and
+// not completed).
+func (p *Poller) Active() bool { return !p.canceled }

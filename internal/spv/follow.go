@@ -1,0 +1,38 @@
+package spv
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+)
+
+// Follow attaches a light node to a full chain view through the
+// chain's tip-change notification feed: the light node ingests the
+// view's current canonical headers once, then tracks every future tip
+// change — including reorgs, where the connected branch's headers
+// re-link the canonical index along the adopted fork. This replaces
+// the pull pattern (re-scanning HeadersFrom on a timer) with the same
+// subscription bus the rest of the system rides; a quiescent chain
+// costs the follower nothing.
+func Follow(view *chain.Chain) (*LightNode, error) {
+	ln := NewLightNode(view.Genesis().Header)
+	hdrs, ok := view.HeadersFrom(view.Genesis().Hash())
+	if !ok {
+		return nil, fmt.Errorf("spv: view has no canonical history")
+	}
+	for _, h := range hdrs {
+		if err := ln.AddHeader(h); err != nil {
+			return nil, fmt.Errorf("spv: seeding follower: %w", err)
+		}
+	}
+	view.OnTipChange(func(ev chain.TipEvent) {
+		for _, b := range ev.Connected {
+			// Connected branches arrive oldest-first and root at an
+			// already-known canonical block, so parents always
+			// resolve; AddHeader re-verifies the proof of work and
+			// handles the longest-chain switch itself.
+			_ = ln.AddHeader(b.Header)
+		}
+	})
+	return ln, nil
+}

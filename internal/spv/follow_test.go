@@ -1,0 +1,72 @@
+package spv
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+)
+
+func TestFollowTracksChainGrowth(t *testing.T) {
+	f := newFixture(t, 3)
+	ln, err := Follow(f.view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeded with the existing history.
+	if ln.Tip().Hash() != f.view.Tip().Header.Hash() {
+		t.Fatal("follower not seeded to the view's tip")
+	}
+	// Future blocks arrive through the notification feed, no rescan.
+	for i := 0; i < 4; i++ {
+		f.mine()
+		if ln.Tip().Hash() != f.view.Tip().Header.Hash() {
+			t.Fatalf("follower lost the tip after block %d", i)
+		}
+	}
+	if ln.HeaderCount() != int(f.view.Height())+1 {
+		t.Fatalf("follower holds %d headers, view height %d", ln.HeaderCount(), f.view.Height())
+	}
+}
+
+func TestFollowTracksReorg(t *testing.T) {
+	f := newFixture(t, 1) // canonical: genesis <- b1(tx) <- b2
+	ln, err := Follow(f.view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a longer competing branch on a twin view with the same
+	// genesis and let the followed view adopt it.
+	alt, err := chain.NewChain(f.view.Params(), nil, chain.GenesisAlloc{f.key.Addr: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.Genesis().Hash() != f.view.Genesis().Hash() {
+		t.Fatal("twin view disagrees on genesis")
+	}
+	for i := 0; i < 3; i++ {
+		b, _ := alt.BuildBlock(f.key.Addr, f.now+forkTime(i), nil)
+		b.Header.Seal(f.rng.Uint64())
+		if _, err := alt.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.view.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.view.Reorgs != 1 {
+		t.Fatalf("view Reorgs = %d, want 1", f.view.Reorgs)
+	}
+	if ln.Tip().Hash() != f.view.Tip().Header.Hash() {
+		t.Fatal("follower did not switch to the winning fork")
+	}
+	// The follower's canonical index must validate inclusion against
+	// the new branch, not the stale one: the old tx's block is no
+	// longer canonical.
+	b, _, found := f.view.FindTx(f.tx.ID())
+	if found {
+		t.Fatalf("tx unexpectedly canonical after reorg (block %s)", b.Hash())
+	}
+}
+
+// forkTime spaces fork-block timestamps.
+func forkTime(i int) int64 { return int64(i+1) * 1000 }

@@ -3,8 +3,13 @@
 // [23] and Herlihy's single-leader generalization [16], both built on
 // hashlock/timelock (HTLC) contracts.
 //
-// The implementation is event-driven on the simulated chains and
-// reproduces the two properties the paper's evaluation leans on:
+// The implementation is event-driven on the simulated chains: every
+// wait rides the miner layer's subscription-backed Watch* APIs (a
+// contract-state watch fires when the observing node's canonical tip
+// changes), and the only timers are the protocol's own Δ-derived
+// timelocks — the refunds of Nolan's construction — armed as explicit
+// one-shot deadlines. It reproduces the two properties the paper's
+// evaluation leans on:
 //
 //   - Sequential structure: a participant publishes its outgoing
 //     contracts only after all its incoming contracts are confirmed,
