@@ -7,7 +7,8 @@
 //	ac3engine [-shards N] [-txs N] [-seed N] [-workers N]
 //	          [-protocol ac3wn|ac3tw|htlc] [-arrival sec] [-inflight N]
 //	          [-timeout min] [-chains N] [-mix commit,abort,crash,race]
-//	          [-sizes 2:6,3:3,4:1] [-progress] [-strict]
+//	          [-sizes 2:6,3:3,4:1] [-progress] [-strict] [-execbudget N]
+//	          [-cpuprofile file] [-memprofile file]
 //
 // The run is deterministic: the same flags always produce
 // byte-identical JSON aggregates, regardless of worker scheduling.
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -41,7 +43,22 @@ func main() {
 	sizes := flag.String("sizes", "2:6,3:3,4:1", "graph size distribution as size:weight,...")
 	progress := flag.Bool("progress", false, "report live progress to stderr")
 	strict := flag.Bool("strict", false, "exit non-zero unless every transaction settled (graded, none stuck) with zero atomicity violations")
+	execBudget := flag.Float64("execbudget", 0, "max blocks executed per settled AC2T (0 = unchecked); guards the shared-executor N-times-to-once win")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// Stopped explicitly after the run: the exit paths below use
+		// os.Exit, which would skip a deferred stop.
+	}
 
 	wl := engine.DefaultWorkload()
 	wl.Protocol = engine.Protocol(*protocol)
@@ -90,6 +107,19 @@ func main() {
 	agg, err := eng.Run()
 	wall := time.Since(start)
 	close(stop)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fatal(werr)
+		}
+		f.Close()
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -104,6 +134,8 @@ func main() {
 		float64(agg.Graded)/wall.Seconds(),
 		(time.Duration(agg.MakespanVirtualMs) * time.Millisecond).Round(time.Second),
 		agg.SimEventsPerTx)
+	fmt.Fprintf(os.Stderr, "blocks: %d mined, %d executed (%.1f per settled AC2T), exec cache hit rate %.1f%%\n",
+		agg.BlocksMined, agg.BlocksExecuted, agg.BlocksExecutedPerTx, 100*agg.ExecHitRate)
 	// Violations always fail AC3WN runs (the protocol's core claim);
 	// for the baselines they only fail under -strict, since producing
 	// them is often the point of the experiment.
@@ -120,6 +152,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "STRICT: %d transactions failed to settle\n", agg.Stuck)
 			os.Exit(1)
 		}
+	}
+	if *execBudget > 0 && agg.BlocksExecutedPerTx > *execBudget {
+		fmt.Fprintf(os.Stderr, "EXEC BUDGET: %.2f blocks executed per settled AC2T exceeds budget %.2f\n",
+			agg.BlocksExecutedPerTx, *execBudget)
+		os.Exit(1)
 	}
 }
 

@@ -35,7 +35,7 @@ func benchFixture(b *testing.B, blocks, txsPerBlock int) (*Chain, *crypto.KeyPai
 	}
 	outs[0].Value += total - share*vm.Amount(txsPerBlock)
 	split := NewTransfer(key, 0, []TxIn{{Prev: prev}}, outs)
-	blk, _ := c.BuildBlock(minerKey.Addr, 10, []*Tx{split})
+	blk, _, _ := c.BuildBlock(minerKey.Addr, 10, []*Tx{split})
 	blk.Header.Seal(0)
 	if _, err := c.AddBlock(blk); err != nil {
 		b.Fatal(err)
@@ -54,7 +54,7 @@ func benchFixture(b *testing.B, blocks, txsPerBlock int) (*Chain, *crypto.KeyPai
 			}
 		}
 		now += params.BlockInterval
-		blk, invalid := c.BuildBlock(minerKey.Addr, now, txs)
+		blk, _, invalid := c.BuildBlock(minerKey.Addr, now, txs)
 		if len(invalid) != 0 {
 			b.Fatalf("block %d rejected %d txs", n, len(invalid))
 		}
@@ -134,7 +134,7 @@ func BenchmarkApplyBlock(b *testing.B) {
 	}
 	rng := sim.NewRNG(9)
 	minerKey := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
-	blk, invalid := c.BuildBlock(minerKey.Addr, 1<<40, txs)
+	blk, _, invalid := c.BuildBlock(minerKey.Addr, 1<<40, txs)
 	if len(invalid) != 0 {
 		b.Fatal("fixture txs invalid")
 	}

@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"bytes"
 	"fmt"
 	"slices"
 
@@ -9,19 +10,18 @@ import (
 	"repro/internal/vm"
 )
 
-// Chain is one node's view of a blockchain: the block tree it has
-// seen, per-block states, and the canonical (longest) chain choice.
-// Blocks are immutable and may be shared across views.
+// Chain is one node's *view* of a blockchain: which blocks the node
+// has seen, its canonical (longest-chain, first-seen-wins) tip choice,
+// and its TipEvent listeners. Block bodies, ledger states, and the
+// tx→block index live in the network's shared Executor — a view holds
+// only membership and ordering. Blocks and states are immutable and
+// shared across views.
 type Chain struct {
-	params Params
-	reg    *vm.Registry
+	exec *Executor
 
-	genesis   *Block
-	blocks    map[crypto.Hash]*Block
-	states    map[crypto.Hash]*State
-	tip       *Block
-	canonical map[uint64]crypto.Hash        // height -> canonical block hash
-	txIndex   map[crypto.Hash][]crypto.Hash // txid -> blocks containing it (any fork)
+	have      map[crypto.Hash]bool   // blocks this view has accepted
+	tip       *Block                 // canonical head
+	canonical map[uint64]crypto.Hash // height -> canonical block hash
 
 	// listeners receive a TipEvent after every canonical-tip change.
 	listeners []func(TipEvent)
@@ -35,42 +35,19 @@ type Chain struct {
 // genesis block.
 type GenesisAlloc map[crypto.Address]vm.Amount
 
-// NewChain builds a view with a deterministic genesis block minting
-// alloc. Two NewChain calls with equal params and alloc produce the
-// identical genesis, so independently constructed views share one
-// chain identity.
+// NewChain builds a single-view chain with its own private executor —
+// the convenience constructor for tests and single-node uses. Networks
+// replicating one blockchain across several nodes should build one
+// Executor and hand each node a NewView, so every block executes once.
+// Two NewChain calls with equal params and alloc produce the identical
+// genesis, so independently constructed views share one chain
+// identity.
 func NewChain(params Params, reg *vm.Registry, alloc GenesisAlloc) (*Chain, error) {
-	if err := params.Validate(); err != nil {
+	exec, err := NewExecutor(params, reg, alloc)
+	if err != nil {
 		return nil, err
 	}
-	if reg == nil {
-		reg = vm.NewRegistry()
-	}
-	gtx := genesisTx(alloc)
-	genesis := NewBlock(Header{
-		ChainID: params.ID,
-		Parent:  crypto.ZeroHash,
-		Height:  0,
-		Time:    0,
-		Bits:    uint8(params.DifficultyBits),
-	}, []*Tx{gtx})
-	genesis.Header.Seal(0)
-
-	st, err := ApplyBlock(NewState(), reg, params, genesis)
-	if err != nil {
-		return nil, fmt.Errorf("chain: genesis invalid: %w", err)
-	}
-	c := &Chain{
-		params:    params,
-		reg:       reg,
-		genesis:   genesis,
-		blocks:    map[crypto.Hash]*Block{genesis.Hash(): genesis},
-		states:    map[crypto.Hash]*State{genesis.Hash(): st},
-		tip:       genesis,
-		canonical: map[uint64]crypto.Hash{0: genesis.Hash()},
-		txIndex:   map[crypto.Hash][]crypto.Hash{gtx.ID(): {genesis.Hash()}},
-	}
-	return c, nil
+	return exec.NewView(), nil
 }
 
 // genesisTx mints the initial allocation deterministically (sorted by
@@ -80,12 +57,9 @@ func genesisTx(alloc GenesisAlloc) *Tx {
 	for a := range alloc {
 		addrs = append(addrs, a)
 	}
-	// Sort addresses for determinism.
-	for i := 1; i < len(addrs); i++ {
-		for j := i; j > 0 && lessAddr(addrs[j], addrs[j-1]); j-- {
-			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
-		}
-	}
+	slices.SortFunc(addrs, func(a, b crypto.Address) int {
+		return bytes.Compare(a[:], b[:])
+	})
 	tx := &Tx{Kind: TxGenesis}
 	for _, a := range addrs {
 		tx.Outs = append(tx.Outs, TxOut{Value: alloc[a], Owner: a})
@@ -101,23 +75,17 @@ func genesisTx(alloc GenesisAlloc) *Tx {
 	return tx
 }
 
-func lessAddr(a, b crypto.Address) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
-}
+// Executor returns the shared store this view reads through.
+func (c *Chain) Executor() *Executor { return c.exec }
 
 // Params returns the chain's configuration.
-func (c *Chain) Params() Params { return c.params }
+func (c *Chain) Params() Params { return c.exec.params }
 
 // Registry returns the contract registry.
-func (c *Chain) Registry() *vm.Registry { return c.reg }
+func (c *Chain) Registry() *vm.Registry { return c.exec.reg }
 
 // Genesis returns the genesis block.
-func (c *Chain) Genesis() *Block { return c.genesis }
+func (c *Chain) Genesis() *Block { return c.exec.genesis }
 
 // Tip returns the canonical head block.
 func (c *Chain) Tip() *Block { return c.tip }
@@ -125,16 +93,17 @@ func (c *Chain) Tip() *Block { return c.tip }
 // Height returns the canonical head height.
 func (c *Chain) Height() uint64 { return c.tip.Header.Height }
 
-// Block returns a block by hash from any fork.
+// Block returns a block by hash from any fork this view has seen.
 func (c *Chain) Block(h crypto.Hash) (*Block, bool) {
-	b, ok := c.blocks[h]
-	return b, ok
+	if !c.have[h] {
+		return nil, false
+	}
+	return c.exec.blocks[h], true
 }
 
 // HasBlock reports whether the view already contains h.
 func (c *Chain) HasBlock(h crypto.Hash) bool {
-	_, ok := c.blocks[h]
-	return ok
+	return c.have[h]
 }
 
 // CanonicalAt returns the canonical block at the given height.
@@ -143,17 +112,16 @@ func (c *Chain) CanonicalAt(height uint64) (*Block, bool) {
 	if !ok {
 		return nil, false
 	}
-	return c.blocks[h], true
+	return c.exec.blocks[h], true
 }
 
 // IsCanonical reports whether the block with hash h is on the
 // canonical chain.
 func (c *Chain) IsCanonical(h crypto.Hash) bool {
-	b, ok := c.blocks[h]
-	if !ok {
+	if !c.have[h] {
 		return false
 	}
-	return c.canonical[b.Header.Height] == h
+	return c.canonical[c.exec.blocks[h].Header.Height] == h
 }
 
 // DepthOf returns how many blocks are mined on top of block h on the
@@ -165,17 +133,22 @@ func (c *Chain) DepthOf(h crypto.Hash) (int, bool) {
 	if !c.IsCanonical(h) {
 		return 0, false
 	}
-	return int(c.tip.Header.Height - c.blocks[h].Header.Height), true
+	return int(c.tip.Header.Height - c.exec.blocks[h].Header.Height), true
 }
 
-// StateAt returns the ledger state after the block with hash h.
+// StateAt returns the ledger state after the block with hash h. The
+// state is shared across views: treat it as read-only and branch with
+// Child() before mutating.
 func (c *Chain) StateAt(h crypto.Hash) (*State, bool) {
-	st, ok := c.states[h]
+	if !c.have[h] {
+		return nil, false
+	}
+	st, ok := c.exec.states[h]
 	return st, ok
 }
 
-// TipState returns the state at the canonical tip.
-func (c *Chain) TipState() *State { return c.states[c.tip.Hash()] }
+// TipState returns the (shared, read-only) state at the canonical tip.
+func (c *Chain) TipState() *State { return c.exec.states[c.tip.Hash()] }
 
 // StateAtDepth returns the state of the canonical block buried depth
 // blocks under the tip (depth 0 = tip). It is how clients read
@@ -194,38 +167,52 @@ func (c *Chain) StateAtDepth(depth int) (*State, bool) {
 // AddBlock validates b against its parent and adds it to the view,
 // switching tips when b extends a strictly longer chain (first-seen
 // wins ties, as Section 2.1 describes miners accepting the first
-// received block). It returns whether the canonical tip changed.
+// received block). Validation is memoized in the shared executor: the
+// first view to see b pays for the state transition, every other view
+// gets the cached verdict. It returns whether the canonical tip
+// changed.
 func (c *Chain) AddBlock(b *Block) (reorged bool, err error) {
 	h := b.Hash()
-	if c.HasBlock(h) {
+	if c.have[h] {
 		return false, nil
 	}
-	parent, ok := c.blocks[b.Header.Parent]
-	if !ok {
+	if !c.have[b.Header.Parent] {
 		return false, blockErr("unknown parent %s", b.Header.Parent)
 	}
-	if b.Header.Height != parent.Header.Height+1 {
-		return false, blockErr("height %d after parent height %d", b.Header.Height, parent.Header.Height)
-	}
-	if b.Header.Time < parent.Header.Time {
-		return false, blockErr("time goes backwards")
-	}
-	parentState := c.states[b.Header.Parent]
-	st, err := ApplyBlock(parentState, c.reg, c.params, b)
-	if err != nil {
+	if _, err := c.exec.Execute(b); err != nil {
 		return false, err
 	}
-	c.blocks[h] = b
-	c.states[h] = st
-	for _, tx := range b.Txs {
-		id := tx.ID()
-		c.txIndex[id] = append(c.txIndex[id], h)
+	return c.adopt(b), nil
+}
+
+// AddMinedBlock adopts a block this node built itself, seeding the
+// shared executor with the state BuildBlock already computed — the
+// build pass was the block's one execution, so adopting it re-runs
+// nothing and every peer's AddBlock hits the cache. built must be the
+// state BuildBlock returned alongside b, with b sealed afterwards.
+func (c *Chain) AddMinedBlock(b *Block, built *State) (reorged bool, err error) {
+	h := b.Hash()
+	if c.have[h] {
+		return false, nil
 	}
+	if !c.have[b.Header.Parent] {
+		return false, blockErr("unknown parent %s", b.Header.Parent)
+	}
+	if err := c.exec.CommitBuilt(b, built); err != nil {
+		return false, err
+	}
+	return c.adopt(b), nil
+}
+
+// adopt records an executor-validated block in this view and applies
+// the longest-chain rule.
+func (c *Chain) adopt(b *Block) (reorged bool) {
+	c.have[b.Hash()] = true
 	if b.Header.Height > c.tip.Header.Height {
 		c.setTip(b)
-		return true, nil
+		return true
 	}
-	return false, nil
+	return false
 }
 
 // setTip switches the canonical chain to end at b, rebuilding the
@@ -250,14 +237,14 @@ func (c *Chain) setTip(b *Block) {
 			break
 		}
 		if prevHash, ok := c.canonical[cur.Header.Height]; ok {
-			disconnected = append(disconnected, c.blocks[prevHash])
+			disconnected = append(disconnected, c.exec.blocks[prevHash])
 		}
 		c.canonical[cur.Header.Height] = h
 		connected = append(connected, cur)
 		if cur.Header.Height == 0 {
 			break
 		}
-		cur = c.blocks[cur.Header.Parent]
+		cur = c.exec.blocks[cur.Header.Parent]
 	}
 	// The walk above collects newest-first; events report oldest-first.
 	slices.Reverse(connected)
@@ -270,7 +257,7 @@ func (c *Chain) setTip(b *Block) {
 		if !ok {
 			break
 		}
-		disconnected = append(disconnected, c.blocks[h])
+		disconnected = append(disconnected, c.exec.blocks[h])
 		delete(c.canonical, hgt)
 	}
 	ev := TipEvent{Old: old, New: b, Connected: connected, Disconnected: disconnected, Reorg: reorg}
@@ -289,17 +276,18 @@ func (c *Chain) isAncestor(a, b *Block) bool {
 		if cur.Header.Height == 0 {
 			return false
 		}
-		cur = c.blocks[cur.Header.Parent]
+		cur = c.exec.blocks[cur.Header.Parent]
 	}
 	return false
 }
 
 // FindTx locates a transaction on the canonical chain, returning its
-// block and index within it.
+// block and index within it. The index is network-wide (shared), so
+// candidate blocks are filtered down to this view's canonical chain.
 func (c *Chain) FindTx(id crypto.Hash) (*Block, int, bool) {
-	for _, bh := range c.txIndex[id] {
+	for _, bh := range c.exec.txIndex[id] {
 		if c.IsCanonical(bh) {
-			b := c.blocks[bh]
+			b := c.exec.blocks[bh]
 			if i := b.FindTx(id); i >= 0 {
 				return b, i, true
 			}
@@ -332,7 +320,7 @@ func (c *Chain) ContractAtDepth(addr crypto.Address, depth int) (vm.Contract, bo
 // with the given hash up to the tip, oldest first. It is what a
 // participant submits as SPV evidence.
 func (c *Chain) HeadersFrom(ancestor crypto.Hash) ([]*Header, bool) {
-	b, ok := c.blocks[ancestor]
+	b, ok := c.Block(ancestor)
 	if !ok || !c.IsCanonical(ancestor) {
 		return nil, false
 	}
@@ -348,34 +336,40 @@ func (c *Chain) HeadersFrom(ancestor crypto.Hash) ([]*Header, bool) {
 }
 
 // BuildBlock assembles a block extending the canonical tip with as
-// many valid mempool transactions as fit (the header is left
-// unsealed; the miner grinds it). invalid lists transactions that
-// failed validation while capacity remained — candidates for the
-// miner to purge; transactions merely skipped for capacity are not
-// reported and should stay in the mempool. time is the miner's
-// current virtual time.
-func (c *Chain) BuildBlock(miner crypto.Address, time sim.Time, mempool []*Tx) (b *Block, invalid []*Tx) {
+// many valid mempool transactions as fit (the header is left unsealed;
+// the miner grinds it), working directly on an overlay of the
+// executor's shared tip state. Each candidate transaction is applied
+// to a scratch overlay first and only folded in on success, so a
+// failing transaction leaves no partial effects behind and the
+// returned state is exactly ApplyBlock's verdict on the returned block
+// — miners hand both to AddMinedBlock and the network never executes
+// the block again. invalid lists transactions that failed validation
+// while capacity remained — candidates for the miner to purge;
+// transactions merely skipped for capacity are not reported and should
+// stay in the mempool. time is the miner's current virtual time.
+func (c *Chain) BuildBlock(miner crypto.Address, time sim.Time, mempool []*Tx) (b *Block, built *State, invalid []*Tx) {
 	parent := c.tip
 	if time < parent.Header.Time {
 		time = parent.Header.Time
 	}
-	st := c.states[parent.Hash()].Child()
+	params := c.exec.params
+	st := c.exec.states[parent.Hash()].Child()
 	height := parent.Header.Height + 1
 
 	coinbase := &Tx{
 		Kind:  TxCoinbase,
 		Nonce: height, // unique per height so coinbase ids differ
-		Outs:  []TxOut{{Value: c.params.BlockReward, Owner: miner}},
+		Outs:  []TxOut{{Value: params.BlockReward, Owner: miner}},
 	}
 	txs := []*Tx{coinbase}
-	if err := ApplyTx(st, c.reg, c.params.ID, height, time, coinbase); err != nil {
+	if err := ApplyTx(st, c.exec.reg, params.ID, height, time, coinbase); err != nil {
 		// Cannot happen with a well-formed coinbase; treat as fatal.
 		panic(fmt.Sprintf("chain: coinbase rejected: %v", err))
 	}
 	// Multiple passes let transactions that spend outputs of other
 	// pending transactions pack regardless of mempool order.
 	pending := mempool
-	capacity := c.params.MaxBlockTxs + 1 // + coinbase
+	capacity := params.MaxBlockTxs + 1 // + coinbase
 	for {
 		var failed []*Tx
 		progress, full := false, false
@@ -384,10 +378,16 @@ func (c *Chain) BuildBlock(miner crypto.Address, time sim.Time, mempool []*Tx) (
 				full = true
 				break
 			}
-			if err := ApplyTx(st, c.reg, c.params.ID, height, time, tx); err != nil {
+			// Trial overlay: a failing transaction (e.g. a contract
+			// call rejected after its inputs were consumed) is
+			// discarded wholesale instead of contaminating the block
+			// state under construction.
+			trial := st.overlay()
+			if err := ApplyTx(trial, c.exec.reg, params.ID, height, time, tx); err != nil {
 				failed = append(failed, tx)
 				continue
 			}
+			st.absorb(trial)
 			txs = append(txs, tx)
 			progress = true
 		}
@@ -403,11 +403,11 @@ func (c *Chain) BuildBlock(miner crypto.Address, time sim.Time, mempool []*Tx) (
 		pending = failed
 	}
 	blk := NewBlock(Header{
-		ChainID: c.params.ID,
+		ChainID: params.ID,
 		Parent:  parent.Hash(),
 		Height:  height,
 		Time:    time,
-		Bits:    uint8(c.params.DifficultyBits),
+		Bits:    uint8(params.DifficultyBits),
 	}, txs)
-	return blk, invalid
+	return blk, st, invalid
 }

@@ -99,7 +99,7 @@ func (e *testEnv) utxoOf(name string, want vm.Amount) (OutPoint, TxOut) {
 func (e *testEnv) mine(txs ...*Tx) *Block {
 	e.t.Helper()
 	e.now += e.chain.Params().BlockInterval
-	b, invalid := e.chain.BuildBlock(e.miner.Addr, e.now, txs)
+	b, _, invalid := e.chain.BuildBlock(e.miner.Addr, e.now, txs)
 	if len(invalid) > 0 {
 		e.t.Fatalf("BuildBlock rejected %d txs; first: kind=%v", len(invalid), invalid[0].Kind)
 	}
@@ -297,7 +297,7 @@ func TestFailingCallRejected(t *testing.T) {
 		t.Fatalf("failing call accepted: %v", err)
 	}
 	// And the miner excludes it.
-	b, invalid := e.chain.BuildBlock(e.keys["alice"].Addr, 100, []*Tx{bad})
+	b, _, invalid := e.chain.BuildBlock(e.keys["alice"].Addr, 100, []*Tx{bad})
 	if len(invalid) != 1 || len(b.Txs) != 1 {
 		t.Fatalf("miner packed a failing call (block=%d txs, invalid=%d)", len(b.Txs), len(invalid))
 	}
@@ -454,7 +454,7 @@ func TestHeadersFrom(t *testing.T) {
 
 func TestBlockRejectedWithBadPoW(t *testing.T) {
 	e := newEnv(t, "alice")
-	b, _ := e.chain.BuildBlock(e.keys["alice"].Addr, 10, nil)
+	b, _, _ := e.chain.BuildBlock(e.keys["alice"].Addr, 10, nil)
 	// Don't seal. With 8 difficulty bits a random unsealed header
 	// passes with probability 2^-8; nudge the nonce until it fails.
 	for b.Header.CheckPoW() {
@@ -468,7 +468,7 @@ func TestBlockRejectedWithBadPoW(t *testing.T) {
 func TestBlockRejectedWithWrongTxRoot(t *testing.T) {
 	e := newEnv(t, "alice", "bob")
 	tx := e.transfer("alice", "bob", 5)
-	b, _ := e.chain.BuildBlock(e.keys["alice"].Addr, 10, []*Tx{tx})
+	b, _, _ := e.chain.BuildBlock(e.keys["alice"].Addr, 10, []*Tx{tx})
 	b.Header.TxRoot = crypto.Sum([]byte("forged"))
 	b.Header.Seal(0)
 	if _, err := e.chain.AddBlock(b); !errors.Is(err, ErrBlockInvalid) {
@@ -586,7 +586,7 @@ func TestBuildBlockRespectsCapacity(t *testing.T) {
 		{Value: 2_500, Owner: e.keys["alice"].Addr},
 		{Value: 2_500, Owner: e.keys["alice"].Addr},
 	})
-	b, _ := small.BuildBlock(e.keys["alice"].Addr, 10, []*Tx{split})
+	b, _, _ := small.BuildBlock(e.keys["alice"].Addr, 10, []*Tx{split})
 	b.Header.Seal(0)
 	if _, err := small.AddBlock(b); err != nil {
 		t.Fatal(err)
@@ -599,7 +599,7 @@ func TestBuildBlockRespectsCapacity(t *testing.T) {
 		txs = append(txs, NewTransfer(e.keys["alice"], n, []TxIn{{Prev: p}},
 			[]TxOut{{Value: out.Value, Owner: e.keys["bob"].Addr}}))
 	}
-	blk, invalid := small.BuildBlock(e.keys["alice"].Addr, 20, txs)
+	blk, _, invalid := small.BuildBlock(e.keys["alice"].Addr, 20, txs)
 	if len(blk.Txs) != 3 { // coinbase + 2
 		t.Fatalf("block has %d txs, want 3", len(blk.Txs))
 	}
@@ -616,7 +616,7 @@ func TestBuildBlockChainsDependentTxs(t *testing.T) {
 	// tx2 spends tx1's output — submitted first.
 	tx2 := NewTransfer(e.keys["bob"], 2, []TxIn{{Prev: OutPoint{TxID: tx1.ID(), Index: 0}}},
 		[]TxOut{{Value: o.Value, Owner: e.keys["alice"].Addr}})
-	b, invalid := e.chain.BuildBlock(e.keys["alice"].Addr, 10, []*Tx{tx2, tx1})
+	b, _, invalid := e.chain.BuildBlock(e.keys["alice"].Addr, 10, []*Tx{tx2, tx1})
 	if len(invalid) != 0 || len(b.Txs) != 3 {
 		t.Fatalf("dependent txs not packed: %d txs, %d invalid", len(b.Txs), len(invalid))
 	}
@@ -645,7 +645,7 @@ func TestDuplicateBlockIgnored(t *testing.T) {
 
 func TestWrongChainIDRejected(t *testing.T) {
 	e := newEnv(t, "alice")
-	b, _ := e.chain.BuildBlock(e.keys["alice"].Addr, 10, nil)
+	b, _, _ := e.chain.BuildBlock(e.keys["alice"].Addr, 10, nil)
 	b.Header.ChainID = "othernet"
 	b.Header.Seal(0)
 	if _, err := e.chain.AddBlock(b); !errors.Is(err, ErrBlockInvalid) {

@@ -1,0 +1,212 @@
+package chain
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/vm"
+)
+
+// Executor is one blockchain network's shared store and state machine:
+// the immutable block DAG, the per-block ledger states, the tx→block
+// index, and a memoized ApplyBlock outcome per block hash. The paper's
+// storage layer (Section 2.1) replicates a blockchain across N mining
+// nodes, but block validation is a deterministic function of the
+// (immutable) parent state and the (immutable) block — honest replicas
+// re-running it always reach the same verdict (the Section 2.3
+// deterministic-replay argument). The executor therefore runs every
+// state transition exactly once per network and serves the result —
+// success (a shared read-only child state) or failure (the cached
+// rejection) — to every replica view created with NewView.
+//
+// The executor is deliberately lock-free: it inherits the simulation's
+// single-goroutine-per-world discipline (the engine's shards each own
+// their worlds outright), so sharing is free. Everything that makes
+// replicas *different* — tip choice, the canonical index, TipEvent
+// listeners — stays in the per-node Chain view.
+type Executor struct {
+	params Params
+	reg    *vm.Registry
+
+	genesis *Block
+	blocks  map[crypto.Hash]*Block        // valid blocks, any fork
+	states  map[crypto.Hash]*State        // state after each valid block
+	invalid map[crypto.Hash]error         // cached permanent rejections
+	txIndex map[crypto.Hash][]crypto.Hash // txid -> blocks containing it
+
+	stats ExecStats
+}
+
+// ExecStats counts the executor's work. Hit rate quantifies how much
+// redundant execution the shared store absorbed: with N replica views
+// each block costs one execution and N-1 hits.
+type ExecStats struct {
+	// Executed counts full ApplyBlock state transitions actually run
+	// (genesis, Execute cache misses, and locally built blocks
+	// committed via CommitBuilt — the build pass is their execution).
+	Executed uint64
+	// Hits counts Execute/CommitBuilt calls served from the memoized
+	// result — including cached rejections of invalid blocks.
+	Hits uint64
+}
+
+// NewExecutor builds a network's shared store with a deterministic
+// genesis block minting alloc. Two NewExecutor calls with equal params
+// and alloc produce the identical genesis, so independently
+// constructed networks (or test fixtures) share one chain identity.
+func NewExecutor(params Params, reg *vm.Registry, alloc GenesisAlloc) (*Executor, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = vm.NewRegistry()
+	}
+	gtx := genesisTx(alloc)
+	genesis := NewBlock(Header{
+		ChainID: params.ID,
+		Parent:  crypto.ZeroHash,
+		Height:  0,
+		Time:    0,
+		Bits:    uint8(params.DifficultyBits),
+	}, []*Tx{gtx})
+	genesis.Header.Seal(0)
+
+	st, err := ApplyBlock(NewState(), reg, params, genesis)
+	if err != nil {
+		return nil, fmt.Errorf("chain: genesis invalid: %w", err)
+	}
+	e := &Executor{
+		params:  params,
+		reg:     reg,
+		genesis: genesis,
+		blocks:  make(map[crypto.Hash]*Block),
+		states:  make(map[crypto.Hash]*State),
+		invalid: make(map[crypto.Hash]error),
+		txIndex: make(map[crypto.Hash][]crypto.Hash),
+	}
+	e.stats.Executed++
+	e.admit(genesis.Hash(), genesis, st)
+	return e, nil
+}
+
+// NewView creates a replica view rooted at genesis. Views share the
+// executor's blocks and states but choose tips independently — two
+// views over one executor can sit on different forks.
+func (e *Executor) NewView() *Chain {
+	gh := e.genesis.Hash()
+	return &Chain{
+		exec:      e,
+		have:      map[crypto.Hash]bool{gh: true},
+		tip:       e.genesis,
+		canonical: map[uint64]crypto.Hash{0: gh},
+	}
+}
+
+// Params returns the network's chain configuration.
+func (e *Executor) Params() Params { return e.params }
+
+// Registry returns the contract registry.
+func (e *Executor) Registry() *vm.Registry { return e.reg }
+
+// Genesis returns the genesis block.
+func (e *Executor) Genesis() *Block { return e.genesis }
+
+// Stats returns the execution counters.
+func (e *Executor) Stats() ExecStats { return e.stats }
+
+// Block returns a valid block known to the network, from any fork.
+func (e *Executor) Block(h crypto.Hash) (*Block, bool) {
+	b, ok := e.blocks[h]
+	return b, ok
+}
+
+// StateOf returns the ledger state after a valid block. The state is
+// shared across every view — callers must treat it as read-only and
+// branch with Child() before mutating.
+func (e *Executor) StateOf(h crypto.Hash) (*State, bool) {
+	st, ok := e.states[h]
+	return st, ok
+}
+
+// Execute validates b against its parent and memoizes the outcome.
+// The first call per block hash runs the full state transition
+// (structural header checks + ApplyBlock); every later call — from any
+// view — returns the cached child state or the cached rejection.
+// An unknown parent is the one non-cacheable error: the parent may
+// simply not have arrived yet.
+func (e *Executor) Execute(b *Block) (*State, error) {
+	h := b.Hash()
+	if st, ok := e.states[h]; ok {
+		e.stats.Hits++
+		return st, nil
+	}
+	if err, ok := e.invalid[h]; ok {
+		e.stats.Hits++
+		return nil, err
+	}
+	parent, ok := e.blocks[b.Header.Parent]
+	if !ok {
+		return nil, blockErr("unknown parent %s", b.Header.Parent)
+	}
+	if err := checkLinkage(b, parent); err != nil {
+		e.invalid[h] = err
+		return nil, err
+	}
+	st, err := ApplyBlock(e.states[b.Header.Parent], e.reg, e.params, b)
+	e.stats.Executed++
+	if err != nil {
+		e.invalid[h] = err
+		return nil, err
+	}
+	e.admit(h, b, st)
+	return st, nil
+}
+
+// CommitBuilt seeds the store with a locally built block and the state
+// BuildBlock computed for it, so a miner's own block costs the network
+// zero re-executions: the build pass was the execution, and every
+// other replica's Execute hits the cache. The caller guarantees built
+// == ApplyBlock(parent state, b) — true by construction for
+// Chain.BuildBlock output sealed afterwards (Seal only grinds the
+// nonce; the transaction set is fixed).
+func (e *Executor) CommitBuilt(b *Block, built *State) error {
+	h := b.Hash()
+	if _, ok := e.states[h]; ok {
+		e.stats.Hits++
+		return nil
+	}
+	if err, ok := e.invalid[h]; ok {
+		e.stats.Hits++
+		return err
+	}
+	if _, ok := e.blocks[b.Header.Parent]; !ok {
+		return blockErr("unknown parent %s", b.Header.Parent)
+	}
+	e.stats.Executed++
+	e.admit(h, b, built)
+	return nil
+}
+
+// checkLinkage verifies the parent-relative header invariants that
+// ApplyBlock (which sees only the parent state, not the parent header)
+// cannot. Failures are permanent properties of the block and therefore
+// cacheable.
+func checkLinkage(b, parent *Block) error {
+	if b.Header.Height != parent.Header.Height+1 {
+		return blockErr("height %d after parent height %d", b.Header.Height, parent.Header.Height)
+	}
+	if b.Header.Time < parent.Header.Time {
+		return blockErr("time goes backwards")
+	}
+	return nil
+}
+
+// admit records a validated block, its state, and its transactions.
+func (e *Executor) admit(h crypto.Hash, b *Block, st *State) {
+	e.blocks[h] = b
+	e.states[h] = st
+	for _, tx := range b.Txs {
+		id := tx.ID()
+		e.txIndex[id] = append(e.txIndex[id], h)
+	}
+}

@@ -78,7 +78,7 @@ func TestPropertyValueConservation(t *testing.T) {
 			tx := NewTransfer(keys[owner.Addr], nonce, ins, outs)
 
 			now += params.BlockInterval
-			b, invalid := c.BuildBlock(minerKey.Addr, now, []*Tx{tx})
+			b, _, invalid := c.BuildBlock(minerKey.Addr, now, []*Tx{tx})
 			if len(invalid) != 0 {
 				return false // our generated transfer must be valid
 			}

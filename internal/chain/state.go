@@ -44,10 +44,37 @@ func (s *State) Child() *State {
 	if s.depth >= flattenDepth {
 		return s.flatten()
 	}
+	return s.overlay()
+}
+
+// overlay returns a direct child layer unconditionally — no flatten
+// check. Block building uses it for per-transaction trial layers,
+// which are either discarded (the transaction failed) or folded back
+// into s with absorb, so they must never turn into deep copies.
+func (s *State) overlay() *State {
 	c := NewState()
 	c.parent = s
 	c.depth = s.depth + 1
 	return c
+}
+
+// absorb folds a direct child overlay's deltas into s. t must have
+// been created by s.overlay() and becomes invalid afterwards. Within
+// one transaction an outpoint lands in at most one of t's utxo/spent
+// maps, so the fold order is immaterial.
+func (s *State) absorb(t *State) {
+	for op := range t.spent {
+		s.Spend(op)
+	}
+	for op, o := range t.utxos {
+		s.AddUTXO(op, o)
+	}
+	for a, c := range t.contracts {
+		s.contracts[a] = c
+	}
+	for a, v := range t.balances {
+		s.SetBalance(a, v)
+	}
 }
 
 // flatten collapses the overlay chain into a single base state.

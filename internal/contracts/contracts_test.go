@@ -62,7 +62,7 @@ func (w *world) mine(id chain.ID, txs ...*chain.Tx) *chain.Block {
 	w.t.Helper()
 	c := w.chains[id]
 	w.now += 10 * sim.Second
-	b, invalid := c.BuildBlock(w.miner.Addr, w.now, txs)
+	b, _, invalid := c.BuildBlock(w.miner.Addr, w.now, txs)
 	if len(invalid) > 0 || len(b.Txs) != len(txs)+1 {
 		w.t.Fatalf("mine on %s: %d invalid, %d packed (want %d)", id, len(invalid), len(b.Txs), len(txs)+1)
 	}
@@ -118,7 +118,7 @@ func (w *world) call(id chain.ID, key *crypto.KeyPair, contract crypto.Address, 
 	tx := chain.NewCall(key, w.nonce, contract, fn, args, nil, nil, 0)
 	c := w.chains[id]
 	w.now += 10 * sim.Second
-	b, invalid := c.BuildBlock(w.miner.Addr, w.now, []*chain.Tx{tx})
+	b, _, invalid := c.BuildBlock(w.miner.Addr, w.now, []*chain.Tx{tx})
 	ok := len(invalid) == 0 && len(b.Txs) == 2
 	if ok != expectOK {
 		w.t.Fatalf("call %s on %s: packed=%v, want %v (invalid=%d)", fn, id, ok, expectOK, len(invalid))

@@ -98,6 +98,16 @@ type ShardResult struct {
 	Events            uint64                     `json:"sim_events"`
 	ByScenario        map[Scenario]ScenarioStats `json:"by_scenario"`
 
+	// BlocksMined totals blocks mined across the shard's networks;
+	// BlocksExecuted counts full ApplyBlock state transitions the
+	// shared executors ran (≈ mined + genesis per network), and
+	// BlockExecHits counts adoptions served from the result cache (≈
+	// (N-1)× mined for N-node networks). Before the shared store,
+	// executed ≈ N× mined.
+	BlocksMined    int    `json:"blocks_mined"`
+	BlocksExecuted uint64 `json:"blocks_executed"`
+	BlockExecHits  uint64 `json:"block_exec_cache_hits"`
+
 	// latencies in virtual ms, grading order; merged (and only then
 	// sorted) by the engine for aggregate percentiles.
 	latencies []int64

@@ -116,6 +116,22 @@ type Aggregate struct {
 	// state actually changes.
 	SimEventsPerTx float64 `json:"sim_events_per_tx"`
 
+	// BlocksMined totals blocks mined across every shard's networks;
+	// BlocksExecuted counts the ApplyBlock state transitions the shared
+	// executors actually ran. The shared-store refactor is graded on
+	// executed ≈ mined (one execution per block per network) instead of
+	// the per-view N× mined.
+	BlocksMined    int    `json:"blocks_mined"`
+	BlocksExecuted uint64 `json:"blocks_executed"`
+	// BlockExecHits counts block adoptions served from the executors'
+	// result cache; ExecHitRate is hits/(hits+executed).
+	BlockExecHits uint64  `json:"block_exec_cache_hits"`
+	ExecHitRate   float64 `json:"exec_cache_hit_rate"`
+	// BlocksExecutedPerTx is BlocksExecuted divided by graded
+	// transactions — the block-execution cost of settling one AC2T,
+	// the budget the CI bench smoke enforces.
+	BlocksExecutedPerTx float64 `json:"blocks_executed_per_tx"`
+
 	PerShard []ShardResult `json:"per_shard"`
 }
 
@@ -199,6 +215,9 @@ func (e *Engine) assemble(results []*ShardResult) *Aggregate {
 		agg.Deploys += r.Deploys
 		agg.Calls += r.Calls
 		agg.SimEvents += r.Events
+		agg.BlocksMined += r.BlocksMined
+		agg.BlocksExecuted += r.BlocksExecuted
+		agg.BlockExecHits += r.BlockExecHits
 		if r.MakespanVirtualMs > agg.MakespanVirtualMs {
 			agg.MakespanVirtualMs = r.MakespanVirtualMs
 		}
@@ -219,6 +238,10 @@ func (e *Engine) assemble(results []*ShardResult) *Aggregate {
 	}
 	if agg.Graded > 0 {
 		agg.SimEventsPerTx = float64(agg.SimEvents) / float64(agg.Graded)
+		agg.BlocksExecutedPerTx = float64(agg.BlocksExecuted) / float64(agg.Graded)
+	}
+	if total := agg.BlockExecHits + agg.BlocksExecuted; total > 0 {
+		agg.ExecHitRate = float64(agg.BlockExecHits) / float64(total)
 	}
 	return agg
 }

@@ -100,6 +100,20 @@ func TestMixedScenarioAtomicity(t *testing.T) {
 	if agg.Commits+agg.Aborts+agg.Stuck != agg.Graded {
 		t.Fatalf("outcome counts do not add up: %+v", agg)
 	}
+	// Shared-executor accounting: each shard world runs AssetChains+1
+	// networks, and each network executes exactly mined+genesis blocks
+	// — not N× mined as the per-view stores did.
+	networks := uint64(agg.Shards * (DefaultWorkload().AssetChains + 1))
+	if agg.BlocksExecuted != uint64(agg.BlocksMined)+networks {
+		t.Fatalf("blocks executed = %d, want mined %d + %d genesis: redundant execution",
+			agg.BlocksExecuted, agg.BlocksMined, networks)
+	}
+	if agg.ExecHitRate <= 0.5 { // 3-miner networks: 2 of 3 adoptions are hits
+		t.Fatalf("exec cache hit rate %.2f, want ~0.67", agg.ExecHitRate)
+	}
+	if agg.BlocksExecutedPerTx <= 0 {
+		t.Fatal("no per-transaction execution cost computed")
+	}
 	if agg.LatencyMs.Count != uint64(agg.Graded) {
 		t.Fatalf("latency histogram has %d samples, want %d", agg.LatencyMs.Count, agg.Graded)
 	}

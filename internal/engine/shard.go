@@ -129,6 +129,15 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *C
 	}
 	e.res.MakespanVirtualMs = int64(s.Now())
 	e.res.Events = s.Executed
+	// Execution accounting: every network's shared executor ran each
+	// block's state transition once; replica adoptions hit the cache.
+	for _, id := range e.w.Chains() {
+		net := e.w.Net(id)
+		st := net.Executor().Stats()
+		e.res.BlocksExecuted += st.Executed
+		e.res.BlockExecHits += st.Hits
+		e.res.BlocksMined += net.BlocksMined()
+	}
 	return e.res, nil
 }
 

@@ -48,13 +48,21 @@ type Client struct {
 }
 
 // watch is one pending condition: check reports (and side-effects)
-// satisfaction; fallback is the optional resubmit timer that keeps the
-// watched transaction alive while the condition is pending.
+// satisfaction; peekFn, when set, probes the condition without side
+// effects (used for the registration-time evaluation — nil means the
+// watch can never be pre-satisfied, e.g. persistent subscriptions);
+// fallback is the optional resubmit timer that keeps the watched
+// transaction alive while the condition is pending.
 type watch struct {
 	check    func() bool
+	peekFn   func() bool
 	fallback *sim.Poller
 	canceled bool
 }
+
+// peek reports whether the condition already holds, with no side
+// effects.
+func (w *watch) peek() bool { return w.peekFn != nil && w.peekFn() }
 
 // stop retires the watch and its fallback timer. Idempotent.
 func (w *watch) stop() {
@@ -144,10 +152,27 @@ func (c *Client) Restart() {
 func (c *Client) Halted() bool { return c.halted }
 
 // addWatch registers a condition and makes sure the client is waiting
-// on its node's tip signal.
+// on its node's tip signal. A condition that already holds at
+// registration fires through a zero-delay scheduled evaluation (never
+// inline — registration must not reenter the caller), preserving the
+// guarantee the old cadence pollers gave: the watch fires even on a
+// chain that never changes tip again. Conditions still pending at
+// registration — the overwhelmingly common case — are checked inline
+// (a cheap read) and wait for tip changes without costing an event.
 func (c *Client) addWatch(w *watch) {
 	c.watches = append(c.watches, w)
 	c.ensureArmed()
+	if !w.peek() {
+		return
+	}
+	c.sim.After(0, func() {
+		if w.canceled || c.halted {
+			return
+		}
+		if w.check() {
+			w.stop() // onTip's next sweep drops the canceled watch
+		}
+	})
 }
 
 // ensureArmed keeps exactly one waiter on the node's tip signal while
@@ -348,16 +373,24 @@ func (c *Client) WhenTxAtDepth(tx *chain.Tx, depth int, fn func(blockHash crypto
 	}
 	id := tx.ID()
 	w := &watch{}
-	w.check = func() bool {
+	cond := func() (crypto.Hash, bool) {
 		b, _, found := c.Chain().FindTx(id)
 		if !found {
-			return false
+			return crypto.Hash{}, false
 		}
 		d, ok := c.Chain().DepthOf(b.Hash())
 		if !ok || d < depth {
+			return crypto.Hash{}, false
+		}
+		return b.Hash(), true
+	}
+	w.peekFn = func() bool { _, ok := cond(); return ok }
+	w.check = func() bool {
+		h, ok := cond()
+		if !ok {
 			return false
 		}
-		fn(b.Hash())
+		fn(h)
 		return true
 	}
 	w.fallback = c.sim.Poll(c.ResubmitEvery, func() bool {
@@ -382,9 +415,12 @@ func (c *Client) WhenContract(addr crypto.Address, depth int, pred func(vm.Contr
 	if c.halted || c.closed {
 		return
 	}
-	w := &watch{check: func() bool {
+	cond := func() bool {
 		ct, ok := c.Chain().ContractAtDepth(addr, depth)
-		if !ok || !pred(ct) {
+		return ok && pred(ct)
+	}
+	w := &watch{peekFn: cond, check: func() bool {
+		if !cond() {
 			return false
 		}
 		fn()

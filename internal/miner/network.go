@@ -12,6 +12,10 @@ import (
 
 // Network is one simulated blockchain network: a set of mining nodes
 // with identical genesis connected by their own p2p message layer.
+// All nodes replicate one blockchain, so they share one chain.Executor
+// — each node's Chain is an independent view (own tip choice, own
+// canonical index) over the shared block store, and every block's
+// state transition runs once per network instead of once per node.
 // The AC3WN protocol composes several Networks — the asset chains plus
 // one (or more, Section 5.2) witness networks.
 type Network struct {
@@ -19,6 +23,8 @@ type Network struct {
 	Sim    *sim.Sim
 	P2P    *p2p.Network
 	Nodes  []*Node
+
+	exec *chain.Executor
 }
 
 // Config describes a blockchain network to build.
@@ -38,19 +44,33 @@ func NewNetwork(s *sim.Sim, cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("miner: need at least one miner")
 	}
 	p2pNet := p2p.NewNetwork(s, cfg.Latency)
-	net := &Network{Params: cfg.Params, Sim: s, P2P: p2pNet}
+	exec, err := chain.NewExecutor(cfg.Params, cfg.Registry, cfg.Alloc)
+	if err != nil {
+		return nil, err
+	}
+	net := &Network{Params: cfg.Params, Sim: s, P2P: p2pNet, exec: exec}
 	share := 1.0 / float64(cfg.Miners)
 	rng := s.RNG().Fork()
 	for i := 0; i < cfg.Miners; i++ {
-		c, err := chain.NewChain(cfg.Params, cfg.Registry, cfg.Alloc)
-		if err != nil {
-			return nil, err
-		}
 		key := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
-		n := NewNode(s, p2pNet, p2p.NodeID(i), c, key, share)
+		n := NewNode(s, p2pNet, p2p.NodeID(i), exec.NewView(), key, share)
 		net.Nodes = append(net.Nodes, n)
 	}
 	return net, nil
+}
+
+// Executor returns the network's shared chain store (block bodies,
+// per-block states, and the ApplyBlock result cache every node's view
+// reads through).
+func (n *Network) Executor() *chain.Executor { return n.exec }
+
+// BlocksMined sums blocks mined across the network's nodes.
+func (n *Network) BlocksMined() int {
+	total := 0
+	for _, node := range n.Nodes {
+		total += node.Mined
+	}
+	return total
 }
 
 // Start begins mining on every node.

@@ -40,7 +40,7 @@ type Node struct {
 	share float64 // fraction of total hash power
 
 	mempool    *mempool
-	orphans    map[crypto.Hash]*chain.Block // parent hash -> waiting block
+	orphans    map[crypto.Hash][]*chain.Block // parent hash -> waiting blocks
 	alive      bool
 	mining     bool
 	interval   sim.Time    // network-wide mean block interval
@@ -64,7 +64,7 @@ func NewNode(s *sim.Sim, net *p2p.Network, id p2p.NodeID, c *chain.Chain, key *c
 		rng:        s.RNG().Fork(),
 		share:      share,
 		mempool:    newMempool(),
-		orphans:    make(map[crypto.Hash]*chain.Block),
+		orphans:    make(map[crypto.Hash][]*chain.Block),
 		alive:      true,
 		interval:   c.Params().BlockInterval,
 		tipChanged: s.NewSignal(),
@@ -127,13 +127,15 @@ func (n *Node) scheduleMining() {
 }
 
 // mineOne assembles, seals, adopts and gossips one block on the
-// node's current tip.
+// node's current tip. The state computed while building is handed to
+// the shared executor, so the network executes the block exactly once
+// — here — and every peer's adoption is a cache hit.
 func (n *Node) mineOne() {
 	txs := n.mempool.ordered()
-	b, invalid := n.Chain.BuildBlock(n.Key.Addr, n.sim.Now(), txs)
+	b, built, invalid := n.Chain.BuildBlock(n.Key.Addr, n.sim.Now(), txs)
 	n.punishInvalid(invalid)
 	b.Header.Seal(n.rng.Uint64())
-	if _, err := n.Chain.AddBlock(b); err != nil {
+	if _, err := n.Chain.AddMinedBlock(b, built); err != nil {
 		// Racing our own view cannot happen in a sequential sim.
 		panic(fmt.Sprintf("miner: own block rejected: %v", err))
 	}
@@ -214,13 +216,28 @@ func (n *Node) acceptTx(tx *chain.Tx) {
 }
 
 // acceptBlock validates and adopts a block, buffering orphans and
-// requesting their missing ancestors from the sender.
+// requesting their missing ancestors from the sender. Several orphans
+// may wait on one parent (competing fork children, or gossip racing
+// ahead of a catch-up), so the buffer keeps them all.
 func (n *Node) acceptBlock(from p2p.NodeID, b *chain.Block) {
 	if b == nil || n.Chain.HasBlock(b.Hash()) {
 		return
 	}
 	if !n.Chain.HasBlock(b.Header.Parent) {
-		n.orphans[b.Header.Parent] = b
+		h := b.Hash()
+		buffered := false
+		for _, o := range n.orphans[b.Header.Parent] {
+			if o.Hash() == h {
+				buffered = true
+				break
+			}
+		}
+		if !buffered {
+			n.orphans[b.Header.Parent] = append(n.orphans[b.Header.Parent], b)
+		}
+		// Re-request the parent even for an already-buffered orphan: the
+		// earlier MsgGetBlock may have gone to a peer that crashed before
+		// answering, and this re-arrival is the only retry signal.
 		n.net.Send(n.ID, from, MsgGetBlock{Hash: b.Header.Parent})
 		return
 	}
@@ -241,10 +258,12 @@ func (n *Node) acceptBlock(from p2p.NodeID, b *chain.Block) {
 	for _, tx := range b.Txs {
 		n.mempool.remove(tx.ID())
 	}
-	// An orphan waiting for this block can now be connected.
-	if child, ok := n.orphans[b.Hash()]; ok {
+	// Every orphan waiting for this block can now be connected.
+	if children, ok := n.orphans[b.Hash()]; ok {
 		delete(n.orphans, b.Hash())
-		n.acceptBlock(from, child)
+		for _, child := range children {
+			n.acceptBlock(from, child)
+		}
 	}
 }
 

@@ -66,7 +66,7 @@ func TestReorgReannouncesTxAndWatchRecovers(t *testing.T) {
 	fv := forkView(t, net, user)
 	forger := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
 	for i := 0; i < 2; i++ {
-		b, _ := fv.BuildBlock(forger.Addr, s.Now(), nil)
+		b, _, _ := fv.BuildBlock(forger.Addr, s.Now(), nil)
 		b.Header.Seal(rng.Uint64())
 		if _, err := fv.AddBlock(b); err != nil {
 			t.Fatal(err)

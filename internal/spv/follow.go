@@ -13,7 +13,9 @@ import (
 // re-link the canonical index along the adopted fork. This replaces
 // the pull pattern (re-scanning HeadersFrom on a timer) with the same
 // subscription bus the rest of the system rides; a quiescent chain
-// costs the follower nothing.
+// costs the follower nothing. A view is cheap to follow by design:
+// block bodies and states live in the network's shared chain.Executor,
+// so following any replica observes the same (once-executed) blocks.
 func Follow(view *chain.Chain) (*LightNode, error) {
 	ln := NewLightNode(view.Genesis().Header)
 	hdrs, ok := view.HeadersFrom(view.Genesis().Hash())

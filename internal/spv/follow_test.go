@@ -44,7 +44,7 @@ func TestFollowTracksReorg(t *testing.T) {
 		t.Fatal("twin view disagrees on genesis")
 	}
 	for i := 0; i < 3; i++ {
-		b, _ := alt.BuildBlock(f.key.Addr, f.now+forkTime(i), nil)
+		b, _, _ := alt.BuildBlock(f.key.Addr, f.now+forkTime(i), nil)
 		b.Header.Seal(f.rng.Uint64())
 		if _, err := alt.AddBlock(b); err != nil {
 			t.Fatal(err)

@@ -60,7 +60,7 @@ func newFixtureAny(t fixtureTB, blocksAfterTx int) *fixture {
 
 func (f *fixture) mine(txs ...*chain.Tx) *chain.Block {
 	f.now += 10 * sim.Second
-	b, _ := f.view.BuildBlock(f.key.Addr, f.now, txs)
+	b, _, _ := f.view.BuildBlock(f.key.Addr, f.now, txs)
 	b.Header.Seal(f.rng.Uint64())
 	if _, err := f.view.AddBlock(b); err != nil {
 		panic(err)

@@ -158,6 +158,11 @@ func (w *World) Net(id chain.ID) *miner.Network { return w.Nets[id] }
 // grade outcomes against after the network quiesces.
 func (w *World) View(id chain.ID) *chain.Chain { return w.Nets[id].Node(0).Chain }
 
+// Executor returns a chain's shared store: the per-network block DAG,
+// state, and ApplyBlock result cache every node view reads through.
+// Harnesses read its Stats to grade execution sharing.
+func (w *World) Executor(id chain.ID) *chain.Executor { return w.Nets[id].Executor() }
+
 // RunUntil advances virtual time.
 func (w *World) RunUntil(t sim.Time) { w.Sim.RunUntil(t) }
 
