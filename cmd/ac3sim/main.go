@@ -80,7 +80,7 @@ func main() {
 		r.Start()
 		if *crash {
 			armCrash(w, victim, func() bool {
-				for _, ev := range r.Events {
+				for _, ev := range r.Events() {
 					if len(ev.Label) > 16 && ev.Label[:16] == "authorize_redeem" {
 						return true
 					}
@@ -97,7 +97,7 @@ func main() {
 		}
 		w.StopMining()
 		w.RunFor(sim.Minute)
-		printEvents := r.Events
+		printEvents := r.Events()
 		for _, ev := range printEvents {
 			fmt.Printf("t=%8.1fs  %s\n", float64(ev.At)/1000, label(ev.Label, ev.Edge))
 		}
@@ -116,7 +116,7 @@ func main() {
 		w.RunUntil(2 * sim.Hour)
 		w.StopMining()
 		w.RunFor(sim.Minute)
-		for _, ev := range r.Events {
+		for _, ev := range r.Events() {
 			fmt.Printf("t=%8.1fs  %s\n", float64(ev.At)/1000, label(ev.Label, ev.Edge))
 		}
 		report(r.Grade())
@@ -132,7 +132,7 @@ func main() {
 		r.Start()
 		if *crash {
 			armCrash(w, victim, func() bool {
-				for _, ev := range r.Events {
+				for _, ev := range r.Events() {
 					if ev.Label == "redeem submitted" {
 						return true
 					}
@@ -142,13 +142,14 @@ func main() {
 		}
 		w.RunUntil(3 * sim.Hour)
 		if *crash && *recoverVictim {
-			fmt.Printf("--- recovering %s (too late: timelocks expired) ---\n", victim.Name)
+			fmt.Printf("--- recovering %s (resumes, but the timelocks expired) ---\n", victim.Name)
 			victim.Recover()
+			r.Resume(victim)
 			w.RunUntil(w.Sim.Now() + time1h)
 		}
 		w.StopMining()
 		w.RunFor(sim.Minute)
-		for _, ev := range r.Events {
+		for _, ev := range r.Events() {
 			fmt.Printf("t=%8.1fs  %s\n", float64(ev.At)/1000, label(ev.Label, ev.Edge))
 		}
 		report(r.Grade())

@@ -17,6 +17,10 @@
 //   - internal/spv — cross-chain evidence (Section 4.3)
 //   - internal/graph — AC2T graphs D = (V, E), Diam(D), ms(D)
 //   - internal/contracts — Algorithms 1–4 as contract objects
+//   - internal/protocol — the reconciler runtime every commitment
+//     protocol runs on: subscriptions, announcement inbox, throttles,
+//     one-shot timers, crash → Resume lifecycle
+//     (docs/architecture/ADR-004-protocol-runtime.md)
 //   - internal/swap — Nolan/Herlihy baselines
 //   - internal/core — AC3WN and AC3TW
 //   - internal/fees, internal/attack — Sections 6.2 and 6.3 analyses

@@ -75,7 +75,7 @@ func runBaseline() bool {
 	r.Start()
 	// Crash bob the instant alice submits her redeem (revealing s).
 	w.Sim.Poll(100*sim.Millisecond, func() bool {
-		for _, ev := range r.Events {
+		for _, ev := range r.Events() {
 			if ev.Edge == 1 && ev.Label == "redeem submitted" {
 				fmt.Printf("t=%6.1fs  bob crashes (alice's reveal is in flight)\n", float64(w.Sim.Now())/1000)
 				bob.Crash()
@@ -85,11 +85,9 @@ func runBaseline() bool {
 		return false
 	})
 	w.RunUntil(2 * sim.Hour) // bob's timelock expires; alice refunds
-	fmt.Printf("t=%6.1fs  bob recovers and tries to redeem...\n", float64(w.Sim.Now())/1000)
+	fmt.Printf("t=%6.1fs  bob recovers; the reconciler resumes and retries his redeem...\n", float64(w.Sim.Now())/1000)
 	bob.Recover()
-	if addr := r.Addrs()[0]; !addr.IsZero() {
-		_, _ = bob.Client("bitcoin").Call(addr, "redeem", r.Secret(), 0)
-	}
+	r.Resume(bob)
 	w.RunUntil(w.Sim.Now() + 30*sim.Minute)
 	w.StopMining()
 	w.RunFor(sim.Minute)
@@ -116,7 +114,7 @@ func runAC3WN() bool {
 	}
 	r.Start()
 	w.Sim.Poll(100*sim.Millisecond, func() bool {
-		for _, ev := range r.Events {
+		for _, ev := range r.Events() {
 			if len(ev.Label) > 16 && ev.Label[:16] == "authorize_redeem" {
 				fmt.Printf("t=%6.1fs  bob crashes (commit decision in flight)\n", float64(w.Sim.Now())/1000)
 				bob.Crash()

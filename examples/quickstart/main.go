@@ -73,7 +73,7 @@ func main() {
 		owned(world, "bitcoin", bob.Addr()), owned(world, "ethereum", alice.Addr()))
 
 	fmt.Println("\nprotocol timeline:")
-	for _, ev := range run.Events {
+	for _, ev := range run.Events() {
 		if ev.Edge < 0 {
 			fmt.Printf("  t=%6.1fs  %s\n", float64(ev.At)/1000, ev.Label)
 		}

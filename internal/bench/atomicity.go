@@ -123,11 +123,11 @@ func runAtomicityCase(seed uint64, sc atomicityScenario) (*xchain.Outcome, bool)
 		}
 		r.Start()
 		grade = r.Grade
-		resume = func() {}
+		resume = func() { r.Resume(bob) }
 		// Crash bob the moment the secret reveal is submitted.
 		if sc.crash != "none" {
 			w.Sim.Poll(100*sim.Millisecond, func() bool {
-				for _, ev := range r.Events {
+				for _, ev := range r.Events() {
 					if ev.Edge == 1 && ev.Label == "redeem submitted" {
 						bob.Crash()
 						return true
@@ -153,7 +153,7 @@ func runAtomicityCase(seed uint64, sc atomicityScenario) (*xchain.Outcome, bool)
 		resume = func() { r.Resume(bob) }
 		if sc.crash != "none" {
 			w.Sim.Poll(100*sim.Millisecond, func() bool {
-				for _, ev := range r.Events {
+				for _, ev := range r.Events() {
 					if ev.Label == "authorize_redeem submitted by alice" ||
 						ev.Label == "authorize_redeem submitted by bob" {
 						bob.Crash()
@@ -167,14 +167,12 @@ func runAtomicityCase(seed uint64, sc atomicityScenario) (*xchain.Outcome, bool)
 
 	w.RunUntil(2 * sim.Hour) // all baseline timelocks expire in here
 	if sc.crash == "after-reveal-recover" {
+		// Both protocols share the runtime's crash/resume lifecycle:
+		// the recovered reconciler re-derives its state from the
+		// chains and retries. AC3WN's retry redeems; the baseline's
+		// finds the timelocked refund already executed.
 		bob.Recover()
 		resume()
-		// The baseline victim also retries its redeem on recovery.
-		if sc.protocol == "htlc" {
-			// bob's retry happens through the swap run's watches being
-			// gone; emulate a recovering wallet re-submitting.
-			// (For AC3WN, Resume drives recovery.)
-		}
 		w.RunUntil(w.Sim.Now() + time90m)
 	}
 	w.StopMining()

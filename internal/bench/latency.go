@@ -67,7 +67,7 @@ func Fig8(seed uint64) *Result {
 	}
 
 	tl := &metrics.Timeline{Title: fmt.Sprintf("Figure 8 — single-leader swap timeline (Diam(D)=%d, 5 contracts), time in Δ", diam), Unit: "Δ"}
-	for _, ev := range run.Events {
+	for _, ev := range run.Events() {
 		label := ev.Label
 		if ev.Edge >= 0 {
 			label = fmt.Sprintf("SC%d %s", ev.Edge+1, ev.Label)
@@ -110,7 +110,7 @@ func Fig9(seed uint64) *Result {
 	tl.Add(inDeltas(run.AllDeployedAt-start), "phase 3: all contracts confirmed; state change submitted")
 	tl.Add(inDeltas(run.DecidedAt-start), "phase 4: decision stable at depth d; parallel redemption")
 	tl.Add(inDeltas(run.CompletedAt-start), "all contracts redeemed")
-	for _, ev := range run.Events {
+	for _, ev := range run.Events() {
 		if ev.Edge >= 0 {
 			tl.Add(inDeltas(ev.At-start), fmt.Sprintf("SC%d %s", ev.Edge+1, ev.Label))
 		}

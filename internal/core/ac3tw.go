@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/chain"
 	"repro/internal/contracts"
 	"repro/internal/crypto"
 	"repro/internal/graph"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/vm"
 	"repro/internal/xchain"
@@ -24,12 +26,10 @@ type TWConfig struct {
 	// AbortAfter (>0): the initiator requests a refund signature if
 	// the AC2T has not committed by then.
 	AbortAfter sim.Time
-	// RetryEvery is the base backoff interval for re-asking Trent
-	// after a refusal (typically "contracts not deep enough yet at my
-	// view"); the retry fires after six intervals. The protocol
-	// itself is fully event-driven — confirmations and announcements
-	// carry it forward — this timer only covers the case where every
-	// confirmation already arrived but Trent's own view lags.
+	// RetryEvery is the base throttle interval for re-asking Trent:
+	// after a refusal ("contracts not deep enough yet at my view"), or
+	// after a request vanished into a crashed Trent — so the protocol
+	// unblocks by itself the moment the witness comes back.
 	RetryEvery sim.Time
 }
 
@@ -37,19 +37,24 @@ type TWConfig struct {
 type TWRun struct {
 	w   *xchain.World
 	cfg TWConfig
+	rt  *protocol.Runtime
 
-	start     sim.Time
-	msID      crypto.Hash
-	addrs     []crypto.Address
-	confirmed []bool
+	ms   *crypto.MultiSig
+	msID crypto.Hash
+
+	registered bool
+	addrs      []crypto.Address
+	ownTx      []*chain.Tx
+	ownAddr    []crypto.Address
+	confirmed  []bool
+	announced  []bool
 
 	deployedOwn map[*xchain.Participant]bool
-	requested   bool
+	abortDue    bool
 	decision    crypto.Purpose
 	decisionSig crypto.Signature
-	settled     map[string]bool
+	terminal    []bool
 
-	Events      []Event
 	DecidedAt   sim.Time
 	CompletedAt sim.Time
 }
@@ -60,11 +65,9 @@ type twAnnounce struct {
 	Addr    crypto.Address
 }
 
-// twDecision broadcasts Trent's signature to all participants.
-type twDecision struct {
-	Purpose crypto.Purpose
-	Sig     crypto.Signature
-}
+// twRegistered tells the other participants ms(D) is on file at
+// Trent, so everyone deploys concurrently.
+type twRegistered struct{}
 
 // NewTW validates and prepares an AC3TW run.
 func NewTW(w *xchain.World, cfg TWConfig) (*TWRun, error) {
@@ -74,144 +77,182 @@ func NewTW(w *xchain.World, cfg TWConfig) (*TWRun, error) {
 	if cfg.RetryEvery <= 0 {
 		cfg.RetryEvery = 5 * sim.Second
 	}
-	return &TWRun{
+	n := len(cfg.Graph.Edges)
+	r := &TWRun{
 		w:           w,
 		cfg:         cfg,
-		addrs:       make([]crypto.Address, len(cfg.Graph.Edges)),
-		confirmed:   make([]bool, len(cfg.Graph.Edges)),
+		addrs:       make([]crypto.Address, n),
+		ownTx:       make([]*chain.Tx, n),
+		ownAddr:     make([]crypto.Address, n),
+		confirmed:   make([]bool, n),
+		announced:   make([]bool, n),
+		terminal:    make([]bool, n),
 		deployedOwn: make(map[*xchain.Participant]bool),
-		settled:     make(map[string]bool),
-	}, nil
-}
-
-// Start runs the protocol: register ms(D) at Trent, deploy all
-// contracts concurrently, request the redemption signature, settle.
-func (r *TWRun) Start() {
-	r.start = r.w.Sim.Now()
-	r.event(-1, "ac3tw started")
-	ms := crypto.NewMultiSig(r.cfg.Graph.Digest())
-	for _, p := range r.cfg.Participants {
-		ms.Add(p.Key)
 	}
-	r.msID = ms.ID()
-	for _, p := range r.cfg.Participants {
-		p := p
-		p.OnMessage(func(from *xchain.Participant, msg any) { r.onMessage(p, msg) })
-	}
-	r.cfg.Trent.Register(r.cfg.Graph, ms, func(err error) {
-		if err != nil {
-			r.event(-1, "registration failed: "+err.Error())
-			return
-		}
-		r.event(-1, "ms(D) registered at Trent")
-		// All participants deploy concurrently.
-		for _, p := range r.cfg.Participants {
-			r.deployOwnEdges(p)
-		}
+	rt, err := protocol.New(protocol.Config{
+		World:        w,
+		Participants: cfg.Participants,
+		Chains:       cfg.Graph.Chains(),
+		Drive:        r.drive,
+		OnMessage:    r.onMessage,
 	})
+	if err != nil {
+		return nil, err
+	}
+	r.rt = rt
+	return r, nil
+}
+
+// Start begins the run: the initiator registers ms(D) at Trent, all
+// participants deploy concurrently once that lands, the initiator
+// requests the redemption signature when everything is confirmed, and
+// everyone settles with Trent's signature as the secret.
+func (r *TWRun) Start() {
+	r.rt.Event(-1, "ac3tw started")
+	r.ms = crypto.NewMultiSig(r.cfg.Graph.Digest())
+	for _, p := range r.cfg.Participants {
+		r.ms.Add(p.Key)
+	}
+	r.msID = r.ms.ID()
 	if r.cfg.AbortAfter > 0 {
-		r.w.Sim.After(r.cfg.AbortAfter, func() {
-			if r.decision == 0 && !r.cfg.Initiator.Crashed() {
-				r.cfg.Trent.RequestRefund(r.msID, func(sig crypto.Signature, p crypto.Purpose, err error) {
-					if err == nil {
-						r.onDecision(p, sig)
-					}
-				})
+		r.rt.After(r.cfg.AbortAfter, func() {
+			if r.decision == 0 {
+				r.abortDue = true
+				r.rt.DriveAll()
 			}
 		})
 	}
+	r.rt.Start()
 }
 
-func (r *TWRun) event(edge int, label string) {
-	r.Events = append(r.Events, Event{At: r.w.Sim.Now(), Label: label, Edge: edge})
-}
+// Resume re-arms a recovered participant and re-drives it; it
+// re-learns the decision and every contract location from the shared
+// run state and the chains. AC3TW tolerates participant crashes the
+// same way AC3WN does — its single point of failure is Trent.
+func (r *TWRun) Resume(p *xchain.Participant) { r.rt.Resume(p) }
 
-// deployOwnEdges publishes p's outgoing CentralizedSC contracts.
-func (r *TWRun) deployOwnEdges(p *xchain.Participant) {
-	if r.deployedOwn[p] || p.Crashed() {
-		return
-	}
-	r.deployedOwn[p] = true
-	for i, e := range r.cfg.Graph.Edges {
-		if e.From != p.Addr() {
-			continue
-		}
-		i, e := i, e
-		params := vm.EncodeGob(contracts.CentralizedParams{
-			Recipient: e.To,
-			MSDigest:  r.msID,
-			Witness:   r.cfg.Trent.Key.Addr,
-		})
-		client := p.Client(e.Chain)
-		tx, addr, err := client.Deploy(contracts.TypeCentralized, params, e.Asset)
-		if err != nil {
-			r.event(i, "deploy failed: "+err.Error())
-			continue
-		}
-		p.Deploys++
-		r.event(i, "deploy submitted")
-		client.WhenTxAtDepth(tx, r.cfg.ConfirmDepth, func(crypto.Hash) {
-			r.event(i, "deploy confirmed")
-			r.addrs[i] = addr
-			r.confirmed[i] = true
-			for _, q := range r.cfg.Participants {
-				if q != p {
-					p.Tell(q, twAnnounce{EdgeIdx: i, Addr: addr})
-				}
-			}
-			r.maybeRequestRedeem()
-		})
-	}
-}
+// Stop retires the run.
+func (r *TWRun) Stop() { r.rt.Stop() }
 
-// onMessage ingests announcements and decisions.
-func (r *TWRun) onMessage(p *xchain.Participant, msg any) {
+// Events returns the run's timeline.
+func (r *TWRun) Events() []Event { return r.rt.Timeline() }
+
+// Registered reports whether ms(D) is on file at Trent.
+func (r *TWRun) Registered() bool { return r.registered }
+
+// MsID exposes the AC2T's multisig digest (set at Start).
+func (r *TWRun) MsID() crypto.Hash { return r.msID }
+
+// onMessage ingests announcements (the runtime re-drives p).
+func (r *TWRun) onMessage(p, from *xchain.Participant, msg any) {
 	switch m := msg.(type) {
 	case twAnnounce:
 		if r.addrs[m.EdgeIdx].IsZero() {
 			r.addrs[m.EdgeIdx] = m.Addr
 		}
 		r.confirmed[m.EdgeIdx] = true
-		r.maybeRequestRedeem()
-	case twDecision:
-		r.settleFor(p, m.Purpose, m.Sig)
+	case twRegistered:
+		// Shared run state already carries the flag; the re-drive the
+		// runtime issues after this handler is what matters.
 	}
 }
 
-// maybeRequestRedeem asks Trent for the redemption signature once all
-// contracts are confirmed.
-func (r *TWRun) maybeRequestRedeem() {
-	if r.requested || r.decision != 0 {
+// drive is the reconciler step function.
+func (r *TWRun) drive(p *xchain.Participant) {
+	// Phase 0: registration, initiator-driven and retried until Trent
+	// answers.
+	if !r.registered {
+		if p == r.cfg.Initiator {
+			r.rt.Throttle(p, "register", 6*r.cfg.RetryEvery, func() { r.register() })
+		}
 		return
 	}
-	for _, c := range r.confirmed {
-		if !c {
+	// Phase 1: deploy own edges (all participants, concurrently).
+	if !r.deployedOwn[p] {
+		r.deployOwnEdges(p)
+	}
+	// Phase 2: re-derive own-deploy confirmations from chain state and
+	// announce them (crash-safe: no watch to lose).
+	for i, e := range r.cfg.Graph.Edges {
+		if e.From != p.Addr() || r.ownTx[i] == nil || r.announced[i] {
+			continue
+		}
+		if !r.rt.EnsureTx(p, e.Chain, r.ownTx[i], r.cfg.ConfirmDepth) {
+			continue
+		}
+		r.announced[i] = true
+		r.addrs[i] = r.ownAddr[i]
+		r.confirmed[i] = true
+		r.rt.Event(i, "deploy confirmed")
+		r.rt.Broadcast(p, twAnnounce{EdgeIdx: i, Addr: r.ownAddr[i]})
+	}
+	// Phase 3: the initiator asks Trent to witness — redeem once every
+	// contract is confirmed, refund once the abort deadline passed.
+	// Both are throttled retries: a refusal or a request lost in a
+	// crashed Trent is re-asked, so the run unblocks when he returns.
+	if r.decision == 0 {
+		if p != r.cfg.Initiator {
 			return
 		}
-	}
-	initiator := r.cfg.Initiator
-	if initiator.Crashed() {
+		switch {
+		case r.abortDue:
+			r.rt.Throttle(p, "request-refund", 6*r.cfg.RetryEvery, func() { r.requestRefund() })
+		case r.allConfirmed():
+			r.rt.Throttle(p, "request-redeem", 6*r.cfg.RetryEvery, func() { r.requestRedeem() })
+		}
 		return
 	}
-	r.requested = true
-	r.event(-1, "redeem signature requested from Trent")
+	// Phase 4: settle p's edges with Trent's signature.
+	r.settle(p)
+}
+
+// register stores ms(D) at Trent. A duplicate-registration reply
+// means an earlier attempt landed but its response was lost — the
+// store is intact, so it counts as success.
+func (r *TWRun) register() {
+	r.cfg.Trent.Register(r.cfg.Graph, r.ms, func(err error) {
+		if r.rt.Stopped() || r.registered {
+			return
+		}
+		if err != nil && !errors.Is(err, ErrAlreadyRegistered) {
+			r.rt.Event(-1, "registration failed: "+err.Error())
+			return
+		}
+		r.registered = true
+		r.rt.Event(-1, "ms(D) registered at Trent")
+		r.rt.Broadcast(r.cfg.Initiator, twRegistered{})
+		r.rt.DriveAll()
+	})
+}
+
+// requestRedeem asks Trent for the redemption signature.
+func (r *TWRun) requestRedeem() {
+	r.rt.Event(-1, "redeem signature requested from Trent")
 	r.cfg.Trent.RequestRedeem(r.msID, r.addrs, r.cfg.ConfirmDepth, func(sig crypto.Signature, p crypto.Purpose, err error) {
+		if r.rt.Stopped() {
+			return
+		}
 		if err != nil {
-			r.event(-1, "Trent refused: "+err.Error())
-			r.requested = false
-			// Retry on the next confirmation event — or, if every
-			// confirmation already arrived and only Trent's view
-			// lags, on an explicit backoff timer. Without the timer
-			// a refusal after the last announcement would stall the
-			// run forever.
-			r.w.Sim.After(6*r.cfg.RetryEvery, r.maybeRequestRedeem)
+			// Retried from drive on the next notification (or the
+			// throttle window, whichever is later).
+			r.rt.Event(-1, "Trent refused: "+err.Error())
 			return
 		}
 		r.onDecision(p, sig)
 	})
 }
 
-// onDecision records Trent's signature and fans it out.
+// requestRefund asks Trent to witness the abort.
+func (r *TWRun) requestRefund() {
+	r.cfg.Trent.RequestRefund(r.msID, func(sig crypto.Signature, p crypto.Purpose, err error) {
+		if r.rt.Stopped() || err != nil {
+			return
+		}
+		r.onDecision(p, sig)
+	})
+}
+
+// onDecision records Trent's signature and drives everyone to settle.
 func (r *TWRun) onDecision(p crypto.Purpose, sig crypto.Signature) {
 	if r.decision != 0 {
 		return
@@ -219,48 +260,81 @@ func (r *TWRun) onDecision(p crypto.Purpose, sig crypto.Signature) {
 	r.decision = p
 	r.decisionSig = sig
 	r.DecidedAt = r.w.Sim.Now()
-	r.event(-1, "Trent decided "+p.String())
-	for _, q := range r.cfg.Participants {
-		q := q
-		r.settleFor(q, p, sig)
-		r.cfg.Initiator.Tell(q, twDecision{Purpose: p, Sig: sig})
+	r.rt.Event(-1, "Trent decided "+p.String())
+	r.rt.DriveAll()
+}
+
+// deployOwnEdges publishes p's outgoing CentralizedSC contracts.
+func (r *TWRun) deployOwnEdges(p *xchain.Participant) {
+	r.deployedOwn[p] = true
+	for i, e := range r.cfg.Graph.Edges {
+		if e.From != p.Addr() || r.ownTx[i] != nil {
+			continue
+		}
+		params := vm.EncodeGob(contracts.CentralizedParams{
+			Recipient: e.To,
+			MSDigest:  r.msID,
+			Witness:   r.cfg.Trent.Key.Addr,
+		})
+		tx, addr, err := p.Client(e.Chain).Deploy(contracts.TypeCentralized, params, e.Asset)
+		if err != nil {
+			r.rt.Event(i, "deploy failed: "+err.Error())
+			continue
+		}
+		p.Deploys++
+		r.ownTx[i] = tx
+		r.ownAddr[i] = addr
+		r.rt.Event(i, "deploy submitted")
 	}
 }
 
-// settleFor makes q redeem its incoming edges (RD) or refund its
-// outgoing edges (RF) using Trent's signature as the secret.
-func (r *TWRun) settleFor(q *xchain.Participant, p crypto.Purpose, sig crypto.Signature) {
-	if q.Crashed() {
-		return
+func (r *TWRun) allConfirmed() bool {
+	for _, c := range r.confirmed {
+		if !c {
+			return false
+		}
 	}
-	secret := crypto.EncodeSignature(sig)
+	return true
+}
+
+// settle makes p redeem its incoming edges (RD) or refund its
+// outgoing edges (RF) using Trent's signature as the secret, and
+// records terminal states as they land on p's view.
+func (r *TWRun) settle(p *xchain.Participant) {
+	secret := crypto.EncodeSignature(r.decisionSig)
+	fn := contracts.FnRedeem
+	if r.decision == crypto.PurposeRefund {
+		fn = contracts.FnRefund
+	}
 	for i, e := range r.cfg.Graph.Edges {
-		mine := (p == crypto.PurposeRedeem && e.To == q.Addr()) ||
-			(p == crypto.PurposeRefund && e.From == q.Addr())
+		mine := (r.decision == crypto.PurposeRedeem && e.To == p.Addr()) ||
+			(r.decision == crypto.PurposeRefund && e.From == p.Addr())
 		if !mine || r.addrs[i].IsZero() {
 			continue
 		}
-		key := fmt.Sprintf("%s-%d", q.Name, i)
-		if r.settled[key] {
+		client := p.Client(e.Chain)
+		ct, ok := client.ContractNow(r.addrs[i], 0)
+		if !ok {
 			continue
 		}
-		r.settled[key] = true
-		i, e := i, e
-		fn := contracts.FnRedeem
-		if p == crypto.PurposeRefund {
-			fn = contracts.FnRefund
+		sc, isSC := ct.(*contracts.CentralizedSC)
+		if !isSC {
+			continue
 		}
-		client := q.Client(e.Chain)
-		if _, err := client.Call(r.addrs[i], fn, secret, 0); err == nil {
-			q.Calls++
-			r.event(i, fn+" submitted")
+		if sc.State != contracts.StatePublished {
+			if !r.terminal[i] {
+				r.terminal[i] = true
+				r.rt.Event(i, "terminal "+sc.State.String())
+				r.CompletedAt = r.w.Sim.Now()
+			}
+			continue
 		}
-		client.WhenContract(r.addrs[i], 0, func(ct vm.Contract) bool {
-			sc, ok := ct.(*contracts.CentralizedSC)
-			return ok && sc.State != contracts.StatePublished
-		}, func() {
-			r.event(i, "terminal")
-			r.CompletedAt = r.w.Sim.Now()
+		i := i
+		r.rt.Throttle(p, fmt.Sprintf("%s-%d", fn, i), 6*r.cfg.RetryEvery, func() {
+			if _, err := client.Call(r.addrs[i], fn, secret, 0); err == nil {
+				p.Calls++
+				r.rt.Event(i, fn+" submitted")
+			}
 		})
 	}
 }
@@ -273,28 +347,8 @@ func (r *TWRun) Addrs() []crypto.Address { return append([]crypto.Address(nil), 
 // witness work happens off-chain at Trent).
 func (r *TWRun) Grade() *xchain.Outcome {
 	out := xchain.GradeGraph(r.w, r.cfg.Graph, r.addrs)
-	out.Start = r.start
-	end := r.start
-	for _, ev := range r.Events {
-		if ev.At > end {
-			end = ev.At
-		}
-	}
-	out.End = end
-	perChain := make(map[chain.ID]map[crypto.Address]bool)
-	for i, e := range r.cfg.Graph.Edges {
-		if r.addrs[i].IsZero() {
-			continue
-		}
-		if perChain[e.Chain] == nil {
-			perChain[e.Chain] = make(map[crypto.Address]bool)
-		}
-		perChain[e.Chain][r.addrs[i]] = true
-	}
-	for id, set := range perChain {
-		d, c := xchain.CountContractOps(r.w.View(id), set)
-		out.Deploys += d
-		out.Calls += c
-	}
+	out.Start = r.rt.StartedAt()
+	out.End = r.rt.TimelineEnd(out.Start)
+	out.Deploys, out.Calls = xchain.CountGraphOps(r.w, r.cfg.Graph, r.addrs)
 	return out
 }

@@ -3,18 +3,18 @@
 // witness network coordinates the AC2T) and AC3TW (Section 4.1, the
 // centralized-witness strawman it improves on).
 //
-// Participants are modeled as reconcilers: a participant inspects the
-// chains through its clients and performs the next enabled action —
-// deploy the coordinator, verify it, deploy its own asset contracts,
-// push the commit/abort decision, redeem or refund. Reconciliation is
-// notification-driven: drive runs when one of the participant's chain
-// views changes tip (the miner layer's subscription bus), when an
-// off-chain announcement arrives, or when an explicit protocol timer
-// (the abort deadline, the decision-push grace period) expires — never
-// on a fixed polling cadence. Because every step is recoverable from
-// on-chain state, a crashed participant that restarts simply re-arms
-// its subscriptions and resumes — which is precisely the
-// all-or-nothing property the paper proves and the baselines lack.
+// Both protocols are written against the reconciler runtime in
+// internal/protocol: each is a step function (drive) plus chain-state
+// readers, while the runtime owns subscriptions, the announcement
+// inbox, throttles, one-shot timers, the timeline, and the uniform
+// crash → Resume lifecycle. A participant inspects the chains through
+// its clients and performs the next enabled action — deploy the
+// coordinator, verify it, deploy its own asset contracts, push the
+// commit/abort decision, redeem or refund. Because every step is
+// recoverable from on-chain state, a crashed participant that
+// restarts simply re-arms its subscriptions and resumes — which is
+// precisely the all-or-nothing property the paper proves and the
+// baselines lack.
 package core
 
 import (
@@ -25,18 +25,16 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/graph"
 	"repro/internal/miner"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/spv"
 	"repro/internal/vm"
 	"repro/internal/xchain"
 )
 
-// Event is a timestamped timeline entry (Figure 9 phases).
-type Event struct {
-	At    sim.Time
-	Label string
-	Edge  int // -1 for protocol-level events
-}
+// Event is a timestamped timeline entry (Figure 9 phases), shared
+// with every protocol on the runtime.
+type Event = protocol.Event
 
 // Config configures one AC3WN run.
 type Config struct {
@@ -60,35 +58,30 @@ type Config struct {
 	// participant changes her mind / declines" path.
 	AbortAfter sim.Time
 	// RetryEvery is the base interval for throttling retried on-chain
-	// actions (default: half the witness block interval). It no longer
-	// drives the reconciler — notifications do — it only stops an
+	// actions (default: half the witness block interval). It does not
+	// drive the reconciler — notifications do — it only stops an
 	// action that keeps failing from being re-submitted on every
 	// wakeup.
 	RetryEvery sim.Time
 }
 
-// pstate is per-participant protocol state (lost on crash only if the
-// participant chooses not to persist it; everything here can be
-// reconstructed from chain state plus the off-chain announcements,
-// and Resume re-arms it).
+// pstate is protocol-owned per-participant state. Everything here can
+// be reconstructed from chain state plus the off-chain announcements;
+// the runtime's Resume re-drives the step function, which re-derives
+// it.
 type pstate struct {
-	subs         []*miner.Sub // tip-change subscriptions, one per chain
-	graceArmed   bool         // decision-push grace timer pending
-	deployedOwn  bool
-	verifiedSCw  bool
-	rejectedSCw  bool
-	submittedRD  bool
-	submittedRF  bool
-	lastAttempt  map[string]sim.Time // throttle per action key
-	announcedOwn map[int]bool
+	deployedOwn bool
+	verifiedSCw bool
+	rejectedSCw bool
+	submittedRD bool
+	submittedRF bool
 }
 
 // Run is one executing AC3WN commitment.
 type Run struct {
 	w   *xchain.World
 	cfg Config
-
-	start sim.Time
+	rt  *protocol.Runtime
 
 	// SCw location (announced by the initiator off-chain).
 	scwTx   *chain.Tx
@@ -97,14 +90,20 @@ type Run struct {
 	// block hash evidence must be anchored at.
 	checkpointHash map[chain.ID]crypto.Hash
 
-	// Per-edge asset contract locations (off-chain announcements).
+	// Per-edge asset contract locations. addrs holds announced (i.e.
+	// confirmed) contracts; ownTx/ownAddr track the sender's own
+	// submissions so drive can re-derive confirmation from chain state
+	// after a crash.
 	addrs     []crypto.Address
 	deployTx  []crypto.Hash
+	ownTx     []*chain.Tx
+	ownAddr   []crypto.Address
 	confirmed []bool
+	announced []bool
 
-	states map[*xchain.Participant]*pstate
+	states   map[*xchain.Participant]*pstate
+	abortDue bool
 
-	Events []Event
 	// Phase boundaries for Figure 9: SCw confirmed, all asset
 	// contracts confirmed, decision buried d deep, all redeemed (or
 	// refunded).
@@ -154,110 +153,65 @@ func New(w *xchain.World, cfg Config) (*Run, error) {
 	if cfg.RetryEvery <= 0 {
 		cfg.RetryEvery = w.Nets[cfg.WitnessChain].Params.BlockInterval / 2
 	}
+	n := len(cfg.Graph.Edges)
 	r := &Run{
 		w:                w,
 		cfg:              cfg,
 		checkpointHash:   make(map[chain.ID]crypto.Hash),
-		addrs:            make([]crypto.Address, len(cfg.Graph.Edges)),
-		deployTx:         make([]crypto.Hash, len(cfg.Graph.Edges)),
-		confirmed:        make([]bool, len(cfg.Graph.Edges)),
+		addrs:            make([]crypto.Address, n),
+		deployTx:         make([]crypto.Hash, n),
+		ownTx:            make([]*chain.Tx, n),
+		ownAddr:          make([]crypto.Address, n),
+		confirmed:        make([]bool, n),
+		announced:        make([]bool, n),
 		states:           make(map[*xchain.Participant]*pstate),
 		terminalReported: make(map[int]bool),
 	}
 	for _, p := range cfg.Participants {
-		r.states[p] = &pstate{
-			lastAttempt:  make(map[string]sim.Time),
-			announcedOwn: make(map[int]bool),
-		}
+		r.states[p] = &pstate{}
 	}
+	rt, err := protocol.New(protocol.Config{
+		World:        w,
+		Participants: cfg.Participants,
+		Chains:       append([]chain.ID{cfg.WitnessChain}, cfg.Graph.Chains()...),
+		Drive:        r.drive,
+		OnMessage:    r.onMessage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.rt = rt
 	return r, nil
 }
 
 // Start begins the run at the current virtual time.
 func (r *Run) Start() {
-	r.start = r.w.Sim.Now()
-	r.event(-1, "ac3wn started")
-	for _, p := range r.cfg.Participants {
-		p := p
-		p.OnMessage(func(from *xchain.Participant, msg any) { r.onMessage(p, msg) })
-		r.subscribe(p)
-	}
+	r.rt.Event(-1, "ac3wn started")
 	if r.cfg.AbortAfter > 0 {
-		r.w.Sim.After(r.cfg.AbortAfter, func() { r.abortIfUndecided() })
+		r.rt.After(r.cfg.AbortAfter, func() {
+			// The deadline only raises the abort flag; the step
+			// functions push (and retry) authorize_refund from it.
+			r.abortDue = true
+			r.rt.DriveAll()
+		})
 	}
-	// Kick the reconcilers once so the initiator publishes SCw without
-	// waiting for the first block; afterwards notifications take over.
-	for _, p := range r.cfg.Participants {
-		if !p.Crashed() {
-			r.drive(p)
-		}
-	}
+	r.rt.Start()
 }
 
 // Resume re-arms a recovered participant's subscriptions and re-drives
 // it. The participant re-learns everything else from the chains.
-func (r *Run) Resume(p *xchain.Participant) {
-	if p.Crashed() {
-		return
-	}
-	r.subscribe(p)
-	r.drive(p)
-}
+func (r *Run) Resume(p *xchain.Participant) { r.rt.Resume(p) }
 
-// subscribe points the participant's reconciler at the notification
-// bus: every chain the AC2T touches (asset chains and the witness
-// chain) re-drives p when its canonical tip changes. The subscriptions
-// die with the participant's clients on crash; Resume re-arms them —
-// the crash/recovery story is unchanged from the polling reconciler.
-func (r *Run) subscribe(p *xchain.Participant) {
-	st := r.states[p]
-	for _, sub := range st.subs {
-		sub.Cancel() // idempotent; safe on crashed-and-dead subs
-	}
-	st.subs = st.subs[:0]
-	chains := append([]chain.ID{r.cfg.WitnessChain}, r.cfg.Graph.Chains()...)
-	seen := make(map[chain.ID]bool, len(chains))
-	for _, id := range chains {
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
-		st.subs = append(st.subs, p.Client(id).OnTipChange(func() {
-			if !p.Crashed() {
-				r.drive(p)
-			}
-		}))
-	}
-}
+// Stop retires the run: the engine calls it when grading is done so
+// finished transactions stop consuming simulator events.
+func (r *Run) Stop() { r.rt.Stop() }
 
-// event appends a timeline entry.
-func (r *Run) event(edge int, label string) {
-	r.Events = append(r.Events, Event{At: r.w.Sim.Now(), Label: label, Edge: edge})
-}
+// Events returns the run's timeline.
+func (r *Run) Events() []Event { return r.rt.Timeline() }
 
-// tellPeers sends an off-chain message to this AC2T's other
-// participants. Announcements are scoped to the transaction's own
-// parties: concurrent AC2Ts on shared chains must not see (or trust)
-// each other's contract locations.
-func (r *Run) tellPeers(from *xchain.Participant, msg any) {
-	for _, q := range r.cfg.Participants {
-		if q != from {
-			from.Tell(q, msg)
-		}
-	}
-}
-
-// throttled runs the action at most once per interval per key.
-func (st *pstate) throttled(now sim.Time, key string, interval sim.Time, fn func()) {
-	if last, ok := st.lastAttempt[key]; ok && now-last < interval {
-		return
-	}
-	st.lastAttempt[key] = now
-	fn()
-}
-
-// onMessage ingests off-chain announcements.
-func (r *Run) onMessage(p *xchain.Participant, msg any) {
+// onMessage ingests off-chain announcements (the runtime re-drives
+// the recipient afterwards).
+func (r *Run) onMessage(p, from *xchain.Participant, msg any) {
 	switch m := msg.(type) {
 	case announceSCw:
 		if r.scwAddr.IsZero() {
@@ -272,25 +226,28 @@ func (r *Run) onMessage(p *xchain.Participant, msg any) {
 			r.deployTx[m.EdgeIdx] = m.TxID
 		}
 	}
-	if !p.Crashed() {
-		r.drive(p)
-	}
 }
 
-// drive is the reconciler: inspect the world through p's clients and
-// take the next enabled action. Idempotent; safe to call at any time —
-// it runs on every tip-change notification, on off-chain announcement
-// arrival, and when a protocol timer expires.
+// drive is the reconciler step function: inspect the world through
+// p's clients and take the next enabled action. Idempotent; the
+// runtime calls it on tip-change notifications, announcement arrival,
+// timer expiry, and resume.
 func (r *Run) drive(p *xchain.Participant) {
 	st := r.states[p]
 	now := r.w.Sim.Now()
 
-	// Phase 1: the initiator publishes SCw.
+	// Phase 1: the initiator publishes SCw and keeps the deployment
+	// alive until it is buried (a fork race could drop it).
 	if r.scwAddr.IsZero() {
 		if p == r.cfg.Initiator {
-			st.throttled(now, "deploy-scw", 4*r.cfg.RetryEvery, func() { r.deploySCw(p) })
+			r.rt.Throttle(p, "deploy-scw", 4*r.cfg.RetryEvery, func() { r.deploySCw(p) })
 		}
 		return
+	}
+	if p == r.cfg.Initiator && r.scwTx != nil {
+		if r.rt.EnsureTx(p, r.cfg.WitnessChain, r.scwTx, r.cfg.WitnessDepth) {
+			r.markSCwConfirmed()
+		}
 	}
 
 	wclient := p.Client(r.cfg.WitnessChain)
@@ -304,14 +261,20 @@ func (r *Run) drive(p *xchain.Participant) {
 		if err := r.verifySCw(p, scw); err != nil {
 			if !st.rejectedSCw {
 				st.rejectedSCw = true
-				r.event(-1, fmt.Sprintf("%s rejects SCw: %v", p.Name, err))
+				r.rt.Event(-1, fmt.Sprintf("%s rejects SCw: %v", p.Name, err))
 			}
 			// A participant that distrusts SCw pushes the abort.
-			r.trySubmitRefund(p, st, now)
+			r.trySubmitRefund(p, st)
 			return
 		}
 		st.verifiedSCw = true
 	}
+
+	// Re-derive the confirmation state of p's own deployments on every
+	// wakeup — even after a decision, so a fork-delayed deploy that
+	// confirms late is still announced (and then refunded or redeemed)
+	// rather than stranding its asset.
+	r.confirmOwnEdges(p)
 
 	// Read the decisive state at depth d.
 	stable, haveStable := r.readSCw(wclient, r.cfg.WitnessDepth)
@@ -319,45 +282,40 @@ func (r *Run) drive(p *xchain.Participant) {
 	switch {
 	case haveStable && stable.State == contracts.WitnessRedeemAuthorized:
 		r.markDecision(contracts.WitnessRedeemAuthorized)
-		r.settle(p, st, now, true)
+		r.settle(p, true)
 	case haveStable && stable.State == contracts.WitnessRefundAuthorized:
 		r.markDecision(contracts.WitnessRefundAuthorized)
-		r.settle(p, st, now, false)
-	default:
+		r.settle(p, false)
+	case scw.State == contracts.WitnessPublished:
 		// Still undecided at depth d.
-		if scw.State == contracts.WitnessPublished {
-			// Phase 2: deploy own asset contracts once SCw itself is
-			// confirmed at depth d.
-			if _, scwStable := r.readSCw(wclient, r.cfg.WitnessDepth); scwStable {
-				r.markSCwConfirmed()
-				if !st.deployedOwn {
-					r.deployOwnEdges(p, st)
-				}
-				// Phase 3: push the commit decision once every asset
-				// contract is confirmed. The initiator goes first;
-				// the others follow after a rank-staggered grace
-				// period, so any live participant eventually pushes
-				// the decision (no single coordinator) without
-				// everyone racing to pay the same fee. The grace wait
-				// is an explicit timer, not a polling cadence: drive
-				// re-runs exactly when the grace period expires.
-				if r.allConfirmed() && !st.submittedRD {
-					due := r.AllDeployedAt + r.pushGrace(p)
-					switch {
-					case now >= due:
-						st.throttled(now, "authorize-redeem", 6*r.cfg.RetryEvery, func() {
-							r.submitAuthorizeRedeem(p, st)
-						})
-					case !st.graceArmed:
-						st.graceArmed = true
-						r.w.Sim.At(due, func() {
-							st.graceArmed = false
-							if !p.Crashed() {
-								r.drive(p)
-							}
-						})
-					}
-				}
+		if r.abortDue {
+			r.trySubmitRefund(p, st)
+		}
+		// Phase 2: deploy own asset contracts once SCw itself is
+		// confirmed at depth d, then re-derive their confirmations
+		// from chain state (crash-safe: no watch to lose).
+		if !haveStable {
+			return
+		}
+		r.markSCwConfirmed()
+		if !st.deployedOwn {
+			r.deployOwnEdges(p, st)
+			r.confirmOwnEdges(p)
+		}
+		// Phase 3: push the commit decision once every asset contract
+		// is confirmed. The initiator goes first; the others follow
+		// after a rank-staggered grace period, so any live participant
+		// eventually pushes the decision (no single coordinator)
+		// without everyone racing to pay the same fee. The grace wait
+		// is an explicit one-shot timer, not a polling cadence.
+		if r.allConfirmed() && !st.submittedRD {
+			due := r.AllDeployedAt + r.pushGrace(p)
+			if now >= due {
+				r.rt.Throttle(p, "authorize-redeem", 6*r.cfg.RetryEvery, func() {
+					r.submitAuthorizeRedeem(p, st)
+				})
+			} else {
+				r.rt.WakeAt(p, "push-grace", due)
 			}
 		}
 	}
@@ -372,7 +330,7 @@ func (r *Run) deploySCw(p *xchain.Participant) {
 		view := p.Client(id).Chain()
 		stable, ok := view.CanonicalAt(heightAtDepth(view, r.cfg.AssetDepth))
 		if !ok {
-			return // chain too short; retry next tick
+			return // chain too short; retry on a later notification
 		}
 		cps = append(cps, contracts.ChainCheckpoint{
 			Chain:         id,
@@ -395,24 +353,15 @@ func (r *Run) deploySCw(p *xchain.Participant) {
 	client := p.Client(r.cfg.WitnessChain)
 	tx, addr, err := client.Deploy(contracts.TypeWitness, params, 0)
 	if err != nil {
-		r.event(-1, "SCw deploy failed: "+err.Error())
+		r.rt.Event(-1, "SCw deploy failed: "+err.Error())
 		return
 	}
 	p.Deploys++
 	r.scwTx = tx
 	r.scwAddr = addr
 	r.checkpointHash = cpHashes
-	r.event(-1, "SCw deploy submitted")
-	// The watch both marks the phase boundary and — crucially —
-	// resubmits the deployment if its block loses a fork race; without
-	// it an unlucky SCw deploy could vanish with an abandoned fork.
-	client.WhenTxAtDepth(tx, r.cfg.WitnessDepth, func(crypto.Hash) {
-		r.markSCwConfirmed()
-		if !p.Crashed() {
-			r.drive(p)
-		}
-	})
-	r.tellPeers(p, announceSCw{Addr: addr, TxID: tx.ID(), Checkpoints: cpHashes})
+	r.rt.Event(-1, "SCw deploy submitted")
+	r.rt.Broadcast(p, announceSCw{Addr: addr, TxID: tx.ID(), Checkpoints: cpHashes})
 }
 
 // heightAtDepth returns the canonical height depth blocks under the
@@ -477,10 +426,9 @@ func (r *Run) verifySCw(p *xchain.Participant, scw *contracts.WitnessSC) error {
 func (r *Run) deployOwnEdges(p *xchain.Participant, st *pstate) {
 	st.deployedOwn = true
 	for i, e := range r.cfg.Graph.Edges {
-		if e.From != p.Addr() {
+		if e.From != p.Addr() || r.ownTx[i] != nil {
 			continue
 		}
-		i, e := i, e
 		wview := p.Client(r.cfg.WitnessChain).Chain()
 		stable, ok := wview.CanonicalAt(heightAtDepth(wview, r.cfg.WitnessDepth))
 		if !ok {
@@ -494,24 +442,35 @@ func (r *Run) deployOwnEdges(p *xchain.Participant, st *pstate) {
 			SCw:               r.scwAddr,
 			Depth:             r.cfg.WitnessDepth,
 		})
-		client := p.Client(e.Chain)
-		tx, addr, err := client.Deploy(contracts.TypePermissionless, params, e.Asset)
+		tx, addr, err := p.Client(e.Chain).Deploy(contracts.TypePermissionless, params, e.Asset)
 		if err != nil {
-			r.event(i, "deploy failed: "+err.Error())
+			r.rt.Event(i, "deploy failed: "+err.Error())
 			continue
 		}
 		p.Deploys++
-		r.event(i, "deploy submitted")
-		client.WhenTxAtDepth(tx, r.cfg.AssetDepth, func(crypto.Hash) {
-			if st.announcedOwn[i] {
-				return
-			}
-			st.announcedOwn[i] = true
-			r.event(i, "deploy confirmed")
-			r.noteConfirmed(i, addr, tx.ID())
-			r.tellPeers(p, announceDeploy{EdgeIdx: i, Addr: addr, TxID: tx.ID()})
-			r.drive(p)
-		})
+		r.ownTx[i] = tx
+		r.ownAddr[i] = addr
+		r.rt.Event(i, "deploy submitted")
+	}
+}
+
+// confirmOwnEdges re-derives the confirmation state of p's own
+// deployments from chain state, announcing each as it is buried at
+// the asset depth. EnsureTx keeps a submission alive across forks and
+// mempool wipes, so this also replaces the per-deploy watch — and,
+// unlike a watch, it survives a crash between submit and confirm.
+func (r *Run) confirmOwnEdges(p *xchain.Participant) {
+	for i, e := range r.cfg.Graph.Edges {
+		if e.From != p.Addr() || r.ownTx[i] == nil || r.announced[i] {
+			continue
+		}
+		if !r.rt.EnsureTx(p, e.Chain, r.ownTx[i], r.cfg.AssetDepth) {
+			continue
+		}
+		r.announced[i] = true
+		r.rt.Event(i, "deploy confirmed")
+		r.noteConfirmed(i, r.ownAddr[i], r.ownTx[i].ID())
+		r.rt.Broadcast(p, announceDeploy{EdgeIdx: i, Addr: r.ownAddr[i], TxID: r.ownTx[i].ID()})
 	}
 }
 
@@ -524,7 +483,7 @@ func (r *Run) noteConfirmed(i int, addr crypto.Address, txID crypto.Hash) {
 	r.confirmed[i] = true
 	if r.allConfirmed() && r.AllDeployedAt == 0 {
 		r.AllDeployedAt = r.w.Sim.Now()
-		r.event(-1, "all asset contracts confirmed")
+		r.rt.Event(-1, "all asset contracts confirmed")
 	}
 }
 
@@ -577,40 +536,23 @@ func (r *Run) submitAuthorizeRedeem(p *xchain.Participant, st *pstate) {
 	}
 	p.Calls++
 	st.submittedRD = true
-	r.event(-1, "authorize_redeem submitted by "+p.Name)
+	r.rt.Event(-1, "authorize_redeem submitted by "+p.Name)
 }
 
-// abortIfUndecided pushes authorize_refund when the deadline passes
-// without a commit.
-func (r *Run) abortIfUndecided() {
-	for _, p := range r.cfg.Participants {
-		if p.Crashed() {
-			continue
-		}
-		st := r.states[p]
-		if r.scwAddr.IsZero() {
-			continue
-		}
-		wclient := p.Client(r.cfg.WitnessChain)
-		scw, ok := r.readSCw(wclient, 0)
-		if !ok || scw.State != contracts.WitnessPublished {
-			continue
-		}
-		r.trySubmitRefund(p, st, r.w.Sim.Now())
-	}
-}
-
-// trySubmitRefund pushes SCw to RFauth (no evidence required).
-func (r *Run) trySubmitRefund(p *xchain.Participant, st *pstate, now sim.Time) {
+// trySubmitRefund pushes SCw to RFauth (no evidence required). Called
+// from drive whenever the abort deadline has passed (or the
+// participant rejected SCw) and no decision is stable yet, so a
+// failed submission is retried on later notifications.
+func (r *Run) trySubmitRefund(p *xchain.Participant, st *pstate) {
 	if st.submittedRF || r.scwAddr.IsZero() {
 		return
 	}
-	st.throttled(now, "authorize-refund", 6*r.cfg.RetryEvery, func() {
+	r.rt.Throttle(p, "authorize-refund", 6*r.cfg.RetryEvery, func() {
 		client := p.Client(r.cfg.WitnessChain)
 		if _, err := client.Call(r.scwAddr, contracts.FnAuthorizeRefund, nil, 0); err == nil {
 			p.Calls++
 			st.submittedRF = true
-			r.event(-1, "authorize_refund submitted by "+p.Name)
+			r.rt.Event(-1, "authorize_refund submitted by "+p.Name)
 		}
 	})
 }
@@ -619,7 +561,7 @@ func (r *Run) trySubmitRefund(p *xchain.Participant, st *pstate, now sim.Time) {
 func (r *Run) markSCwConfirmed() {
 	if r.SCwConfirmedAt == 0 {
 		r.SCwConfirmedAt = r.w.Sim.Now()
-		r.event(-1, "SCw confirmed at depth d")
+		r.rt.Event(-1, "SCw confirmed at depth d")
 	}
 }
 
@@ -628,13 +570,13 @@ func (r *Run) markDecision(outcome contracts.WitnessState) {
 	if r.DecidedAt == 0 {
 		r.DecidedAt = r.w.Sim.Now()
 		r.DecidedOutcome = outcome
-		r.event(-1, "decision "+outcome.String()+" stable at depth d")
+		r.rt.Event(-1, "decision "+outcome.String()+" stable at depth d")
 	}
 }
 
 // settle redeems p's incoming edges (commit) or refunds p's outgoing
 // edges (abort), with evidence of SCw's stable state.
-func (r *Run) settle(p *xchain.Participant, st *pstate, now sim.Time, commit bool) {
+func (r *Run) settle(p *xchain.Participant, commit bool) {
 	fn := contracts.FnAuthorizeRedeem
 	action := contracts.FnRedeem
 	if !commit {
@@ -646,7 +588,6 @@ func (r *Run) settle(p *xchain.Participant, st *pstate, now sim.Time, commit boo
 		if !mine || r.addrs[i].IsZero() {
 			continue
 		}
-		i, e := i, e
 		client := p.Client(e.Chain)
 		ct, ok := client.ContractNow(r.addrs[i], 0)
 		if !ok {
@@ -657,14 +598,15 @@ func (r *Run) settle(p *xchain.Participant, st *pstate, now sim.Time, commit boo
 			r.noteTerminal(i, sc, isSC)
 			continue
 		}
-		st.throttled(now, fmt.Sprintf("%s-%d", action, i), 6*r.cfg.RetryEvery, func() {
+		i := i
+		r.rt.Throttle(p, fmt.Sprintf("%s-%d", action, i), 6*r.cfg.RetryEvery, func() {
 			ev, err := r.witnessEvidenceFor(p, sc, fn)
 			if err != nil {
 				return
 			}
 			if _, err := client.Call(r.addrs[i], action, ev, 0); err == nil {
 				p.Calls++
-				r.event(i, action+" submitted")
+				r.rt.Event(i, action+" submitted")
 			}
 		})
 	}
@@ -676,10 +618,10 @@ func (r *Run) noteTerminal(i int, sc *contracts.PermissionlessSC, ok bool) {
 		return
 	}
 	r.terminalReported[i] = true
-	r.event(i, "terminal "+sc.State.String())
+	r.rt.Event(i, "terminal "+sc.State.String())
 	if len(r.terminalReported) == len(r.cfg.Graph.Edges) && r.CompletedAt == 0 {
 		r.CompletedAt = r.w.Sim.Now()
-		r.event(-1, "all contracts settled")
+		r.rt.Event(-1, "all contracts settled")
 	}
 }
 
@@ -706,21 +648,11 @@ func (r *Run) witnessEvidenceFor(p *xchain.Participant, sc *contracts.Permission
 // findCallTx scans the canonical witness chain (newest first) for a
 // call of fn on the contract.
 func findCallTx(view *chain.Chain, contract crypto.Address, fn string) (crypto.Hash, bool) {
-	for h := view.Height(); ; h-- {
-		b, ok := view.CanonicalAt(h)
-		if !ok {
-			break
-		}
-		for _, tx := range b.Txs {
-			if tx.Kind == chain.TxCall && tx.Contract == contract && tx.Fn == fn {
-				return tx.ID(), true
-			}
-		}
-		if h == 0 {
-			break
-		}
+	tx, ok := protocol.FindCall(view, contract, fn)
+	if !ok {
+		return crypto.Hash{}, false
 	}
-	return crypto.Hash{}, false
+	return tx.ID(), true
 }
 
 // Addrs exposes per-edge contract addresses for grading.
@@ -739,34 +671,15 @@ func (r *Run) SCwTx() *chain.Tx { return r.scwTx }
 // Section 6.2's cost analysis).
 func (r *Run) Grade() *xchain.Outcome {
 	out := xchain.GradeGraph(r.w, r.cfg.Graph, r.addrs)
-	out.Start = r.start
-	end := r.start
-	for _, ev := range r.Events {
-		if ev.At > end {
-			end = ev.At
-		}
-	}
+	out.Start = r.rt.StartedAt()
+	out.End = r.rt.TimelineEnd(out.Start)
 	if r.CompletedAt != 0 {
-		end = r.CompletedAt
+		out.End = r.CompletedAt
 	}
-	out.End = end
-
-	perChain := make(map[chain.ID]map[crypto.Address]bool)
-	addTo := func(id chain.ID, a crypto.Address) {
-		if a.IsZero() {
-			return
-		}
-		if perChain[id] == nil {
-			perChain[id] = make(map[crypto.Address]bool)
-		}
-		perChain[id][a] = true
-	}
-	for i, e := range r.cfg.Graph.Edges {
-		addTo(e.Chain, r.addrs[i])
-	}
-	addTo(r.cfg.WitnessChain, r.scwAddr)
-	for id, set := range perChain {
-		d, c := xchain.CountContractOps(r.w.View(id), set)
+	out.Deploys, out.Calls = xchain.CountGraphOps(r.w, r.cfg.Graph, r.addrs)
+	if !r.scwAddr.IsZero() {
+		d, c := xchain.CountContractOps(r.w.View(r.cfg.WitnessChain),
+			map[crypto.Address]bool{r.scwAddr: true})
 		out.Deploys += d
 		out.Calls += c
 	}

@@ -69,7 +69,7 @@ func TestAC3WNTwoPartyCommit(t *testing.T) {
 
 	out := r.Grade()
 	if !out.Committed() {
-		t.Fatalf("AC3WN did not commit: %+v (events: %v)", out.Edges, r.Events)
+		t.Fatalf("AC3WN did not commit: %+v (events: %v)", out.Edges, r.Events())
 	}
 	if out.AtomicityViolated() {
 		t.Fatal("atomicity violated")
@@ -133,7 +133,7 @@ func TestAC3WNCrashRecoveryPreservesAtomicity(t *testing.T) {
 
 	crashed := false
 	w.Sim.Poll(sim.Second, func() bool {
-		for _, ev := range r.Events {
+		for _, ev := range r.Events() {
 			if ev.Label == "authorize_redeem submitted by alice" ||
 				ev.Label == "authorize_redeem submitted by bob" {
 				crashed = true
@@ -184,7 +184,7 @@ func TestAC3WNInitiatorCrashAfterDeploysStillCommits(t *testing.T) {
 		// Crash alice the moment every deploy is confirmed, before
 		// any authorize_redeem was submitted.
 		if r.AllDeployedAt > 0 {
-			for _, ev := range r.Events {
+			for _, ev := range r.Events() {
 				if ev.Label == "authorize_redeem submitted by alice" {
 					return true // too late to test; skip crash
 				}
@@ -400,7 +400,7 @@ func TestAC3TWTwoPartyCommit(t *testing.T) {
 
 	out := r.Grade()
 	if !out.Committed() {
-		t.Fatalf("AC3TW did not commit: %+v (events %v)", out.Edges, r.Events)
+		t.Fatalf("AC3TW did not commit: %+v (events %v)", out.Edges, r.Events())
 	}
 	if trent.SignedRD != 1 || trent.SignedRF != 0 {
 		t.Fatalf("trent signed RD=%d RF=%d, want 1/0", trent.SignedRD, trent.SignedRF)
@@ -503,10 +503,10 @@ func TestAC3TWTrentCrashStallsProtocol(t *testing.T) {
 		t.Fatalf("unexpected outcome during stall: %+v", out.Edges)
 	}
 
-	// Recovery: Trent comes back, a re-request succeeds.
+	// Recovery: Trent comes back, and the initiator's throttled
+	// re-request (the reconciler retries on every notification)
+	// unblocks the run without any manual poke.
 	trent.Recover()
-	r.requested = false
-	r.maybeRequestRedeem()
 	w.RunUntil(w.Sim.Now() + 40*sim.Minute)
 	w.StopMining()
 	w.RunFor(sim.Minute)

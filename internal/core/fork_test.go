@@ -74,7 +74,7 @@ func TestAC3WNSafeOnForkyWitnessChain(t *testing.T) {
 				t.Fatalf("fork broke atomicity: %+v", out.Edges)
 			}
 			if !out.Committed() {
-				t.Fatalf("AC2T did not commit on the forky witness chain: %+v (events %v)", out.Edges, r.Events)
+				t.Fatalf("AC2T did not commit on the forky witness chain: %+v (events %v)", out.Edges, r.Events())
 			}
 		})
 	}

@@ -103,7 +103,7 @@ func TestAC3WNRandomCrashSchedulesNeverViolate(t *testing.T) {
 				t.Fatalf("atomicity violated at end: %+v", out.Edges)
 			}
 			if !out.Committed() && !out.Aborted() {
-				t.Fatalf("AC2T stuck after full recovery: %+v (events %v)", out.Edges, r.Events)
+				t.Fatalf("AC2T stuck after full recovery: %+v (events %v)", out.Edges, r.Events())
 			}
 		})
 	}

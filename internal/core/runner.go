@@ -9,8 +9,9 @@ import (
 // Runner is the uniform lifecycle the orchestration engine
 // (internal/engine) multiplexes: every commitment protocol in this
 // repository — AC3WN, AC3TW, and the HTLC baselines in internal/swap
-// — drives itself off the shared simulator once started, exposes a
-// cheap quiescence check, and grades its outcome from ground-truth
+// — runs on the internal/protocol reconciler runtime, drives itself
+// off the shared simulator once started, exposes a cheap quiescence
+// check, can be retired, and grades its outcome from ground-truth
 // chain views. The engine steps a whole shard of concurrent Runners
 // on one virtual clock and retires each as it settles.
 type Runner interface {
@@ -22,6 +23,11 @@ type Runner interface {
 	// because a crashed participant can hold a run open indefinitely
 	// (that is the paper's Section 1 hazard, not a bug).
 	Settled() bool
+	// Stop retires the run: subscriptions are canceled and timers go
+	// inert, so finished transactions stop consuming simulator
+	// events. Idempotent, and safe after crashes already tore the
+	// subscriptions down.
+	Stop()
 	// Grade reads terminal contract states from ground-truth views.
 	Grade() *xchain.Outcome
 }
@@ -40,19 +46,6 @@ func (r *Run) Settled() bool {
 		return false
 	}
 	return deployed || r.DecidedOutcome == contracts.WitnessRefundAuthorized
-}
-
-// Stop cancels every participant subscription this run armed. The
-// engine calls it when retiring a graded run so finished transactions
-// stop consuming simulator events. Cancel is idempotent, so Stop is
-// safe after crashes already tore the subscriptions down.
-func (r *Run) Stop() {
-	for _, st := range r.states {
-		for _, sub := range st.subs {
-			sub.Cancel()
-		}
-		st.subs = nil
-	}
 }
 
 // Settled reports run quiescence for AC3TW, mirroring AC3WN: Trent

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/chain"
@@ -33,6 +34,11 @@ type Trent struct {
 	// SignedRD / SignedRF count decisions (diagnostics).
 	SignedRD, SignedRF int
 }
+
+// ErrAlreadyRegistered is Trent's duplicate-registration refusal. A
+// retrying initiator treats it as success: it means an earlier
+// attempt landed and only the reply was lost.
+var ErrAlreadyRegistered = errors.New("trent: ms(D) already registered")
 
 // trentEntry is one registered AC2T.
 type trentEntry struct {
@@ -76,7 +82,7 @@ func (t *Trent) Register(g *graph.Graph, ms *crypto.MultiSig, cb func(error)) {
 		}
 		id := ms.ID()
 		if _, dup := t.store[id]; dup {
-			t.reply(cb, fmt.Errorf("trent: ms(D) already registered"))
+			t.reply(cb, ErrAlreadyRegistered)
 			return
 		}
 		t.store[id] = &trentEntry{g: g}

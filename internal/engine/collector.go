@@ -98,6 +98,13 @@ type ShardResult struct {
 	Events            uint64                     `json:"sim_events"`
 	ByScenario        map[Scenario]ScenarioStats `json:"by_scenario"`
 
+	// ScenariosDrawn counts workload scenario draws; ScenariosDowngraded
+	// counts draws the protocol cannot express that were mapped onto
+	// commit (today: HTLC race only). A nonzero downgrade count makes
+	// the remaining mapping visible instead of silent.
+	ScenariosDrawn      int `json:"scenarios_drawn"`
+	ScenariosDowngraded int `json:"scenarios_downgraded"`
+
 	// BlocksMined totals blocks mined across the shard's networks;
 	// BlocksExecuted counts full ApplyBlock state transitions the
 	// shared executors ran (≈ mined + genesis per network), and

@@ -92,6 +92,13 @@ type Aggregate struct {
 
 	ByScenario map[Scenario]ScenarioStats `json:"by_scenario"`
 
+	// ScenariosDrawn / ScenariosDowngraded surface the workload's
+	// scenario mapping: a downgrade means the drawn scenario is not
+	// expressible for the protocol and ran as commit instead (today:
+	// HTLC race only). Zero downgrades means the full matrix ran.
+	ScenariosDrawn      int `json:"scenarios_drawn"`
+	ScenariosDowngraded int `json:"scenarios_downgraded"`
+
 	// LatencyMs is the virtual commit-latency histogram across all
 	// graded transactions.
 	LatencyMs metrics.HistSnapshot `json:"latency_ms"`
@@ -215,6 +222,8 @@ func (e *Engine) assemble(results []*ShardResult) *Aggregate {
 		agg.Deploys += r.Deploys
 		agg.Calls += r.Calls
 		agg.SimEvents += r.Events
+		agg.ScenariosDrawn += r.ScenariosDrawn
+		agg.ScenariosDowngraded += r.ScenariosDowngraded
 		agg.BlocksMined += r.BlocksMined
 		agg.BlocksExecuted += r.BlocksExecuted
 		agg.BlockExecHits += r.BlockExecHits

@@ -7,7 +7,9 @@ import (
 	"repro/internal/chain"
 	"repro/internal/contracts"
 	"repro/internal/core"
+	"repro/internal/crypto"
 	"repro/internal/graph"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/swap"
 	"repro/internal/xchain"
@@ -50,6 +52,10 @@ type txSpec struct {
 type txState struct {
 	runner core.Runner
 	parts  []*xchain.Participant
+	// trent is the transaction's own centralized witness (AC3TW only),
+	// so the crash scenario can take one AC2T's witness down without
+	// blocking the rest of the stream.
+	trent  *core.Trent
 	graded bool
 	// finishing: Settled held and the settle-grace finish is pending.
 	finishing bool
@@ -77,7 +83,6 @@ type shardExec struct {
 	w        *xchain.World
 	assetIDs []chain.ID
 	witness  chain.ID
-	trent    *core.Trent
 
 	specs []txSpec
 	parts [][]*xchain.Participant // per tx, disjoint
@@ -160,10 +165,15 @@ func (e *shardExec) buildWorld(txCount int) error {
 	var at sim.Time
 	for i := range e.specs {
 		at += wlRNG.ExpTime(e.wl.ArrivalEvery)
+		sc, downgraded := e.wl.drawScenario(wlRNG)
 		e.specs[i] = txSpec{
 			arrival:  at,
 			size:     e.wl.drawSize(wlRNG),
-			scenario: e.wl.drawScenario(wlRNG),
+			scenario: sc,
+		}
+		e.res.ScenariosDrawn++
+		if downgraded {
+			e.res.ScenariosDowngraded++
 		}
 	}
 	// Every AC2T gets disjoint, pre-funded participants: concurrent
@@ -190,9 +200,6 @@ func (e *shardExec) buildWorld(txCount int) error {
 	e.activity = e.s.NewSignal()
 	for _, id := range w.Chains() {
 		w.View(id).OnTipChange(func(chain.TipEvent) { e.activity.Notify() })
-	}
-	if e.wl.Protocol == ProtoAC3TW {
-		e.trent = core.NewTrent(w, e.seed^0x7e27, 200*sim.Millisecond)
 	}
 	return nil
 }
@@ -243,7 +250,7 @@ func (e *shardExec) start(i int) {
 		return
 	}
 
-	runner, err := e.newRunner(g, ps, spec)
+	runner, err := e.newRunner(i, g, ps, spec)
 	if err != nil {
 		e.finish(i, nil)
 		return
@@ -303,7 +310,7 @@ func (e *shardExec) graphStamp(i int) int64 {
 }
 
 // newRunner constructs the protocol runner for one AC2T.
-func (e *shardExec) newRunner(g *graph.Graph, ps []*xchain.Participant, spec txSpec) (core.Runner, error) {
+func (e *shardExec) newRunner(i int, g *graph.Graph, ps []*xchain.Participant, spec txSpec) (core.Runner, error) {
 	abortAfter := safetyAbortAfter
 	if spec.scenario == ScenarioAbort {
 		abortAfter = declineAbortAfter
@@ -320,11 +327,16 @@ func (e *shardExec) newRunner(g *graph.Graph, ps []*xchain.Participant, spec txS
 			AbortAfter:   abortAfter,
 		})
 	case ProtoAC3TW:
+		// Each AC2T trusts its own witness — the AC3TW analog of
+		// AC3WN's per-transaction witness-chain choice — so a witness
+		// crash scenario is contained to its own transaction.
+		trent := core.NewTrent(e.w, e.seed^uint64(e.graphStamp(i))*0x9e3779b97f4a7c15, 200*sim.Millisecond)
+		e.txs[i].trent = trent
 		return core.NewTW(e.w, core.TWConfig{
 			Graph:        g,
 			Participants: ps,
 			Initiator:    ps[0],
-			Trent:        e.trent,
+			Trent:        trent,
 			ConfirmDepth: shardConfirmDepth,
 			AbortAfter:   abortAfter,
 		})
@@ -354,17 +366,20 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 		// gather full deployment evidence and aborts at the deadline.
 		victim.Crash()
 	case ScenarioCrash:
-		// The Section 1 hazard: the victim crashes the instant the
-		// commit decision is being pushed, stays down far beyond any
-		// timelock scale, then recovers. AC3WN resumes and still
-		// redeems; HTLC loses the victim's incoming assets.
+		// The Section 1 hazard, aimed at each protocol's critical
+		// failure point at decision time. AC3WN and AC3TW crash a
+		// participant, which recovers and resumes; for AC3TW's hazard
+		// the victim is the centralized witness itself, which stays
+		// down — the AC2T blocks, surfacing as stuck in the
+		// aggregates. HTLC's recovered victim finds its timelocks
+		// expired and loses assets (an atomicity violation).
 		switch r := runner.(type) {
 		case *core.Run:
 			st.hook = func() bool {
 				if st.graded || victim.Crashed() {
 					return true
 				}
-				if hasEventPrefix(r.Events, "authorize_redeem submitted") {
+				if hasEvent(r.Events(), "authorize_redeem submitted") {
 					victim.Crash()
 					e.s.After(crashDownFor, func() {
 						if st.graded {
@@ -378,24 +393,46 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 				// Decision went to refund instead — nothing to crash.
 				return r.DecidedAt != 0
 			}
+		case *core.TWRun:
+			trent := st.trent
+			st.hook = func() bool {
+				if st.graded {
+					return true
+				}
+				if hasEvent(r.Events(), "redeem signature requested from Trent") {
+					trent.Crash() // stays down: nothing can be decided
+					return true
+				}
+				return false
+			}
 		case *swap.Run:
 			st.hook = func() bool {
 				if st.graded || victim.Crashed() {
 					return true
 				}
-				if hasSwapEventSuffix(r.Events, "redeem submitted") {
-					victim.Crash() // stays down; the timelocks do the damage
+				if hasEvent(r.Events(), "redeem submitted") {
+					victim.Crash()
+					e.s.After(crashDownFor, func() {
+						if st.graded {
+							return
+						}
+						// Recovery resumes the reconciler, but the
+						// timelocks already did the damage.
+						victim.Recover()
+						r.Resume(victim)
+					})
 					return true
 				}
 				return false
 			}
 		}
 	case ScenarioRace:
-		// A rogue participant races the honest decision: it pushes
-		// authorize_refund the moment SCw becomes visible. Exactly one
-		// decision can bury at depth d, so the AC2T stays atomic —
-		// whichever way it goes.
-		if r, ok := runner.(*core.Run); ok {
+		// A rogue participant races the honest decision. Exactly one
+		// decision can stick — buried at depth d on the witness chain
+		// for AC3WN, stored at Trent for AC3TW — so the AC2T stays
+		// atomic whichever way it goes.
+		switch r := runner.(type) {
+		case *core.Run:
 			rogue := victim
 			st.hook = func() bool {
 				if st.graded {
@@ -407,6 +444,18 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 				}
 				_, err := rogue.Client(e.witness).Call(scw, contracts.FnAuthorizeRefund, nil, 0)
 				return err == nil
+			}
+		case *core.TWRun:
+			trent := st.trent
+			st.hook = func() bool {
+				if st.graded {
+					return true
+				}
+				if !r.Registered() {
+					return false
+				}
+				trent.RequestRefund(r.MsID(), func(crypto.Signature, crypto.Purpose, error) {})
+				return true
 			}
 		}
 	}
@@ -441,12 +490,13 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 	e.res.record(sc, committed, aborted, violated, lat, deploys, calls)
 	e.col.observe(lat, violated)
 
-	// Retire: crash every participant so lingering watches, pollers
-	// and resubmit loops stop consuming simulator events. On-chain
-	// state is already graded; nothing observes these identities
-	// again.
-	if r, ok := runner.(*core.Run); ok {
-		r.Stop()
+	// Retire: stop the runner (every protocol implements it through
+	// the shared runtime) and crash the participants so lingering
+	// watches, pollers and resubmit loops stop consuming simulator
+	// events. On-chain state is already graded; nothing observes
+	// these identities again.
+	if runner != nil {
+		runner.Stop()
 	}
 	for _, p := range st.parts {
 		if !p.Crashed() {
@@ -467,22 +517,12 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 	}
 }
 
-// hasEventPrefix reports whether any core event label starts with
-// prefix.
-func hasEventPrefix(events []core.Event, prefix string) bool {
+// hasEvent reports whether any timeline event label starts with
+// prefix. All protocols share the runtime's event type, so one helper
+// serves every scenario hook.
+func hasEvent(events []protocol.Event, prefix string) bool {
 	for _, ev := range events {
 		if strings.HasPrefix(ev.Label, prefix) {
-			return true
-		}
-	}
-	return false
-}
-
-// hasSwapEventSuffix reports whether any swap event label ends with
-// suffix.
-func hasSwapEventSuffix(events []swap.Event, suffix string) bool {
-	for _, ev := range events {
-		if strings.HasSuffix(ev.Label, suffix) {
 			return true
 		}
 	}

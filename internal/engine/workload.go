@@ -150,16 +150,18 @@ func (wl *Workload) drawSize(rng *sim.RNG) int {
 	return wl.Sizes[len(wl.Sizes)-1].Size
 }
 
-// drawScenario samples the scenario mix and maps scenarios a protocol
-// cannot express onto commit: AC3TW has no witness contract to race
-// and its crash story is Trent's, not a participant's; HTLC has no
-// decision to race. HTLC crash is kept — demonstrating that the
-// baseline loses assets under the Section 1 hazard is exactly what an
-// engine-level comparison is for.
-func (wl *Workload) drawScenario(rng *sim.RNG) Scenario {
+// drawScenario samples the scenario mix. The protocol runtime lets
+// every protocol run the full commit/abort/crash/race matrix — crash
+// targets each protocol's critical failure point (a participant for
+// AC3WN and AC3TW, the witness for AC3TW's blocking hazard, a
+// mid-reveal participant for HTLC's asset loss), and race pushes the
+// competing decision (authorize_refund on SCw, a refund request at
+// Trent). The one remaining mapping is HTLC race → commit: hashlock
+// contracts have no decision to race. It is reported, not silent —
+// downgraded draws are counted in the aggregates.
+func (wl *Workload) drawScenario(rng *sim.RNG) (sc Scenario, downgraded bool) {
 	m := wl.Mix
 	n := rng.Intn(m.Commit + m.Abort + m.Crash + m.Race)
-	var sc Scenario
 	switch {
 	case n < m.Commit:
 		sc = ScenarioCommit
@@ -170,15 +172,8 @@ func (wl *Workload) drawScenario(rng *sim.RNG) Scenario {
 	default:
 		sc = ScenarioRace
 	}
-	switch wl.Protocol {
-	case ProtoAC3TW:
-		if sc == ScenarioCrash || sc == ScenarioRace {
-			sc = ScenarioCommit
-		}
-	case ProtoHTLC:
-		if sc == ScenarioRace {
-			sc = ScenarioCommit
-		}
+	if wl.Protocol == ProtoHTLC && sc == ScenarioRace {
+		return ScenarioCommit, true
 	}
-	return sc
+	return sc, false
 }

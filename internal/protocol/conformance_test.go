@@ -1,0 +1,316 @@
+package protocol_test
+
+// Cross-protocol conformance: one seeded scenario grid — commit,
+// decline-abort, crash-at-decision (with recovery), decision race,
+// and witness crash — run against AC3WN, AC3TW, and the HTLC
+// baseline on 2-party and 3-cycle graphs, all through the shared
+// reconciler runtime. The paper's comparison reproduces
+// deterministically:
+//
+//   - AC3WN settles every scenario with zero atomicity violations;
+//     crashed participants resume and still redeem.
+//   - AC3TW tolerates participant crashes (Resume works), but blocks
+//     when its centralized witness crashes — and unblocks when the
+//     witness recovers.
+//   - HTLC loses the crashed victim's assets: recovery resumes the
+//     reconciler, but the timelocked refunds already executed — the
+//     Section 1 fragility.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/xchain"
+)
+
+const (
+	confDepth    = 2
+	confAbortAt  = 15 * sim.Minute
+	confDowntime = 30 * sim.Minute // far beyond every HTLC timelock
+)
+
+// runner is the slice of core.Runner the grid needs, plus the
+// uniform crash/resume entry point.
+type runner interface {
+	Start()
+	Settled() bool
+	Grade() *xchain.Outcome
+	Resume(*xchain.Participant)
+}
+
+// gridWorld builds an n-ring world: participant i funded on chain i,
+// edge i = ps[i] -> ps[i+1] on chain i, plus a witness chain.
+func gridWorld(t *testing.T, seed uint64, n int) (*xchain.World, []*xchain.Participant, *graph.Graph) {
+	t.Helper()
+	b := xchain.NewBuilder(seed)
+	ps := make([]*xchain.Participant, n)
+	ids := make([]chain.ID, n)
+	for i := range ps {
+		ps[i] = b.Participant(fmt.Sprintf("p%d", i))
+		ids[i] = chain.ID(fmt.Sprintf("c%d", i))
+		b.Chain(xchain.DefaultChainSpec(ids[i]))
+	}
+	b.Chain(xchain.DefaultChainSpec("witness"))
+	edges := make([]graph.Edge, n)
+	for i := range ps {
+		b.Fund(ps[i], ids[i], 1_000_000)
+		edges[i] = graph.Edge{From: ps[i].Addr(), To: ps[(i+1)%n].Addr(), Asset: 10_000, Chain: ids[i]}
+	}
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.New(int64(seed), edges...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ps, g
+}
+
+// eventCount counts timeline labels with the given prefix.
+func eventCount(events []core.Event, prefix string) int {
+	n := 0
+	for _, ev := range events {
+		if strings.HasPrefix(ev.Label, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// crashThenResume crashes the victim when trigger first reports true,
+// and recovers (with Resume) after the downtime.
+func crashThenResume(w *xchain.World, r runner, victim *xchain.Participant, trigger func() bool) {
+	w.Sim.Poll(100*sim.Millisecond, func() bool {
+		if !trigger() {
+			return false
+		}
+		victim.Crash()
+		w.Sim.After(confDowntime, func() {
+			victim.Recover()
+			r.Resume(victim)
+		})
+		return true
+	})
+}
+
+func TestConformanceAC3WN(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		for _, scenario := range []string{"commit", "abort", "crash", "race"} {
+			n, scenario := n, scenario
+			t.Run(fmt.Sprintf("%s-%d", scenario, n), func(t *testing.T) {
+				seed := uint64(41000 + n*100)
+				w, ps, g := gridWorld(t, seed, n)
+				victim := ps[n-1]
+				abortAfter := sim.Time(0)
+				if scenario == "abort" {
+					abortAfter = confAbortAt
+					victim.Crash() // declines: never deploys
+				}
+				r, err := core.New(w, core.Config{
+					Graph:        g,
+					Participants: ps,
+					Initiator:    ps[0],
+					WitnessChain: "witness",
+					WitnessDepth: confDepth,
+					AssetDepth:   confDepth,
+					AbortAfter:   abortAfter,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Start()
+				switch scenario {
+				case "crash":
+					crashThenResume(w, r, victim, func() bool {
+						return eventCount(r.Events(), "authorize_redeem submitted") > 0
+					})
+				case "race":
+					rogue := victim
+					w.Sim.Poll(100*sim.Millisecond, func() bool {
+						scw := r.SCwAddr()
+						if scw.IsZero() {
+							return false
+						}
+						_, err := rogue.Client("witness").Call(scw, contracts.FnAuthorizeRefund, nil, 0)
+						return err == nil
+					})
+				}
+				w.RunUntil(2 * sim.Hour)
+				w.StopMining()
+				w.RunFor(sim.Minute)
+				out := r.Grade()
+				if out.AtomicityViolated() {
+					t.Fatalf("AC3WN violated atomicity under %s: %+v", scenario, out.Edges)
+				}
+				switch scenario {
+				case "commit", "crash":
+					if !out.Committed() {
+						t.Fatalf("AC3WN did not commit under %s: %+v", scenario, out.Edges)
+					}
+				case "abort":
+					if !out.Aborted() {
+						t.Fatalf("AC3WN did not abort cleanly: %+v", out.Edges)
+					}
+				case "race":
+					if !out.Committed() && !out.Aborted() {
+						t.Fatalf("AC3WN race left the AC2T unsettled: %+v", out.Edges)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestConformanceAC3TW(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		for _, scenario := range []string{"commit", "abort", "crash", "race", "witness-crash"} {
+			n, scenario := n, scenario
+			t.Run(fmt.Sprintf("%s-%d", scenario, n), func(t *testing.T) {
+				seed := uint64(42000 + n*100)
+				w, ps, g := gridWorld(t, seed, n)
+				trent := core.NewTrent(w, seed+7, 100*sim.Millisecond)
+				victim := ps[n-1]
+				abortAfter := sim.Time(0)
+				if scenario == "abort" {
+					abortAfter = confAbortAt
+					victim.Crash()
+				}
+				r, err := core.NewTW(w, core.TWConfig{
+					Graph:        g,
+					Participants: ps,
+					Initiator:    ps[0],
+					Trent:        trent,
+					ConfirmDepth: confDepth,
+					AbortAfter:   abortAfter,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Start()
+				switch scenario {
+				case "crash":
+					// A participant crashes at decision time and
+					// resumes: AC3TW absorbs this like AC3WN does.
+					crashThenResume(w, r, victim, func() bool {
+						return eventCount(r.Events(), "redeem signature requested") > 0
+					})
+				case "race":
+					// A rogue races the honest decision at Trent; the
+					// store's at-most-one-signature guard keeps the
+					// outcome atomic (here: the refund wins).
+					w.Sim.Poll(100*sim.Millisecond, func() bool {
+						if !r.Registered() {
+							return false
+						}
+						trent.RequestRefund(r.MsID(), func(crypto.Signature, crypto.Purpose, error) {})
+						return true
+					})
+				case "witness-crash":
+					// Trent crashes before he can decide: the AC2T
+					// blocks — the availability hazard AC3WN removes.
+					w.Sim.Poll(50*sim.Millisecond, func() bool {
+						if eventCount(r.Events(), "deploy confirmed") < len(g.Edges) {
+							return false
+						}
+						trent.Crash()
+						return true
+					})
+				}
+				w.RunUntil(90 * sim.Minute)
+				if scenario == "witness-crash" {
+					out := r.Grade()
+					if out.Committed() || out.AtomicityViolated() {
+						t.Fatalf("unexpected outcome while Trent is down: %+v", out.Edges)
+					}
+					if r.Settled() {
+						t.Fatal("run settled with the witness down — AC3TW should block")
+					}
+					// Recovery unblocks: the initiator's throttled
+					// retry reaches the recovered witness.
+					trent.Recover()
+					w.RunUntil(w.Sim.Now() + 40*sim.Minute)
+				}
+				w.StopMining()
+				w.RunFor(sim.Minute)
+				out := r.Grade()
+				if out.AtomicityViolated() {
+					t.Fatalf("AC3TW violated atomicity under %s: %+v", scenario, out.Edges)
+				}
+				switch scenario {
+				case "commit", "crash", "witness-crash":
+					if !out.Committed() {
+						t.Fatalf("AC3TW did not commit under %s: %+v", scenario, out.Edges)
+					}
+				case "abort", "race":
+					if !out.Aborted() {
+						t.Fatalf("AC3TW did not abort cleanly under %s: %+v", scenario, out.Edges)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestConformanceHTLC(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		for _, scenario := range []string{"commit", "abort", "crash"} {
+			n, scenario := n, scenario
+			t.Run(fmt.Sprintf("%s-%d", scenario, n), func(t *testing.T) {
+				seed := uint64(43000 + n*100)
+				w, ps, g := gridWorld(t, seed, n)
+				victim := ps[n-1]
+				if scenario == "abort" {
+					victim.Crash()
+				}
+				r, err := swap.New(w, swap.Config{
+					Graph:        g,
+					Participants: ps,
+					Leader:       ps[0],
+					Delta:        90 * sim.Second,
+					ConfirmDepth: confDepth,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Start()
+				if scenario == "crash" {
+					// The victim crashes the moment the secret reveal
+					// is submitted and recovers long after every
+					// timelock: Resume re-derives s from chain state
+					// and retries, but the refunds already executed —
+					// the asset loss is permanent.
+					crashThenResume(w, r, victim, func() bool {
+						return eventCount(r.Events(), "redeem submitted") > 0
+					})
+				}
+				w.RunUntil(2 * sim.Hour)
+				w.StopMining()
+				w.RunFor(sim.Minute)
+				out := r.Grade()
+				switch scenario {
+				case "commit":
+					if !out.Committed() || out.AtomicityViolated() {
+						t.Fatalf("HTLC happy path broke: %+v", out.Edges)
+					}
+				case "abort":
+					if !out.Aborted() || out.AtomicityViolated() {
+						t.Fatalf("HTLC decline-abort broke: %+v", out.Edges)
+					}
+				case "crash":
+					if !out.AtomicityViolated() {
+						t.Fatalf("HTLC crash hazard did not reproduce: %+v", out.Edges)
+					}
+				}
+			})
+		}
+	}
+}

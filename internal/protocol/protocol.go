@@ -1,0 +1,352 @@
+// Package protocol is the reconciler runtime every commitment
+// protocol in this repository runs on: AC3WN (internal/core), the
+// centralized-witness AC3TW baseline (internal/core), and the
+// Nolan/Herlihy HTLC baselines (internal/swap).
+//
+// A protocol is written as a step function — drive(p) inspects the
+// world through participant p's chain clients and performs the next
+// enabled action — plus chain-state readers. Everything else the
+// three protocols used to reimplement privately lives here:
+//
+//   - per-participant tip-change subscriptions (one miner.Sub per
+//     chain the AC2T touches), armed at Start, torn down by crashes,
+//     and re-armed by Resume;
+//   - the off-chain announcement inbox: messages are handed to the
+//     protocol's OnMessage and the recipient is re-driven;
+//   - throttled action keys, so an on-chain action that keeps failing
+//     is not re-submitted on every wakeup;
+//   - one-shot keyed timers (abort deadlines, decision-push grace
+//     periods, refund timelocks) that re-drive a participant at an
+//     absolute virtual time;
+//   - the timeline event log the experiments render;
+//   - transaction keep-alive (EnsureTx): a submitted transaction is
+//     re-multicast if it falls off the canonical chain, and its
+//     confirmation depth is re-derived from chain state on every
+//     drive — which is what makes crash/resume uniform: a recovered
+//     participant re-arms subscriptions and re-reads the chains, and
+//     the step function takes it from there.
+//
+// The runtime owns no protocol semantics. It never decides what to
+// do — only when to ask the protocol, and it guarantees the protocol
+// is never asked on behalf of a crashed participant or after Stop.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/crypto"
+	"repro/internal/miner"
+	"repro/internal/sim"
+	"repro/internal/xchain"
+)
+
+// Event is a timestamped timeline entry (the Figure 8/9 phase
+// renderings and the engine's scenario hooks consume these).
+type Event struct {
+	At    sim.Time
+	Label string
+	Edge  int // -1 for protocol-level events
+}
+
+// Config wires a protocol's step function into the runtime.
+type Config struct {
+	// World hosts the simulated chains and the virtual clock.
+	World *xchain.World
+	// Participants are the AC2T's parties. The runtime installs their
+	// off-chain inboxes and owns their chain subscriptions.
+	Participants []*xchain.Participant
+	// Chains are the blockchains whose tip changes re-drive a
+	// participant's reconciler (duplicates are ignored).
+	Chains []chain.ID
+	// Drive is the protocol step function: inspect chain state through
+	// p's clients and take the next enabled action. It must be
+	// idempotent — the runtime calls it on every tip change, on every
+	// announcement, on timer expiry, at Start, and on Resume.
+	Drive func(p *xchain.Participant)
+	// OnMessage ingests one off-chain announcement delivered to p; the
+	// runtime re-drives p afterwards. Optional.
+	OnMessage func(p, from *xchain.Participant, msg any)
+}
+
+// pstate is the runtime's per-participant bookkeeping: subscriptions,
+// throttle stamps, armed one-shot timers. Protocol state does not
+// belong here — protocols keep their own flags and re-derive what a
+// crash loses from the chains.
+type pstate struct {
+	subs        []*miner.Sub
+	lastAttempt map[string]sim.Time
+	armed       map[string]bool
+}
+
+// Runtime drives one protocol run's reconcilers.
+type Runtime struct {
+	cfg     Config
+	chains  []chain.ID // deduplicated subscription set
+	states  map[*xchain.Participant]*pstate
+	events  []Event
+	start   sim.Time
+	started bool
+	stopped bool
+}
+
+// New validates the wiring and prepares a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.World == nil || len(cfg.Participants) == 0 || cfg.Drive == nil {
+		return nil, fmt.Errorf("protocol: incomplete runtime config")
+	}
+	if len(cfg.Chains) == 0 {
+		return nil, fmt.Errorf("protocol: no chains to subscribe to")
+	}
+	seen := make(map[chain.ID]bool, len(cfg.Chains))
+	var chains []chain.ID
+	for _, id := range cfg.Chains {
+		if seen[id] {
+			continue
+		}
+		if _, ok := cfg.World.Nets[id]; !ok {
+			return nil, fmt.Errorf("protocol: unknown chain %q", id)
+		}
+		seen[id] = true
+		chains = append(chains, id)
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		chains: chains,
+		states: make(map[*xchain.Participant]*pstate, len(cfg.Participants)),
+	}
+	for _, p := range cfg.Participants {
+		rt.states[p] = &pstate{
+			lastAttempt: make(map[string]sim.Time),
+			armed:       make(map[string]bool),
+		}
+	}
+	return rt, nil
+}
+
+// Start records the start time, installs every participant's
+// announcement inbox, arms their chain subscriptions, and drives each
+// live participant once so protocols make their opening move without
+// waiting for the first block.
+func (rt *Runtime) Start() {
+	rt.start = rt.cfg.World.Sim.Now()
+	rt.started = true
+	for _, p := range rt.cfg.Participants {
+		p := p
+		p.OnMessage(func(from *xchain.Participant, msg any) { rt.deliver(p, from, msg) })
+		rt.subscribe(p)
+	}
+	for _, p := range rt.cfg.Participants {
+		rt.Drive(p)
+	}
+}
+
+// Resume re-arms a recovered participant's subscriptions and
+// re-drives it: the participant re-learns everything else from chain
+// state through its step function. This is the uniform crash/recovery
+// lifecycle — identical for every protocol on the runtime.
+func (rt *Runtime) Resume(p *xchain.Participant) {
+	if rt.stopped || p.Crashed() {
+		return
+	}
+	rt.subscribe(p)
+	rt.Drive(p)
+}
+
+// Stop retires the run: every subscription is canceled and all future
+// drives, timers, and deliveries become no-ops. Idempotent, and safe
+// after crashes already tore subscriptions down.
+func (rt *Runtime) Stop() {
+	rt.stopped = true
+	for _, p := range rt.cfg.Participants {
+		st := rt.states[p]
+		for _, sub := range st.subs {
+			sub.Cancel()
+		}
+		st.subs = nil
+	}
+}
+
+// Stopped reports whether the run was retired.
+func (rt *Runtime) Stopped() bool { return rt.stopped }
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() sim.Time { return rt.cfg.World.Sim.Now() }
+
+// StartedAt returns the virtual time Start ran.
+func (rt *Runtime) StartedAt() sim.Time { return rt.start }
+
+// Drive runs the protocol step function for p unless the run is
+// stopped, not yet started, or p is down.
+func (rt *Runtime) Drive(p *xchain.Participant) {
+	if rt.stopped || !rt.started || p.Crashed() {
+		return
+	}
+	rt.cfg.Drive(p)
+}
+
+// DriveAll drives every live participant (in configuration order, so
+// runs stay deterministic).
+func (rt *Runtime) DriveAll() {
+	for _, p := range rt.cfg.Participants {
+		rt.Drive(p)
+	}
+}
+
+// subscribe points p's reconciler at the notification bus: every
+// chain in the subscription set re-drives p when its canonical tip
+// changes. Existing subscriptions are canceled first, so subscribe is
+// safe to call again on Resume.
+func (rt *Runtime) subscribe(p *xchain.Participant) {
+	st := rt.states[p]
+	for _, sub := range st.subs {
+		sub.Cancel()
+	}
+	st.subs = st.subs[:0]
+	for _, id := range rt.chains {
+		st.subs = append(st.subs, p.Client(id).OnTipChange(func() { rt.Drive(p) }))
+	}
+}
+
+// deliver hands an off-chain announcement to the protocol and
+// re-drives the recipient.
+func (rt *Runtime) deliver(p, from *xchain.Participant, msg any) {
+	if rt.stopped || p.Crashed() {
+		return
+	}
+	if rt.cfg.OnMessage != nil {
+		rt.cfg.OnMessage(p, from, msg)
+	}
+	rt.Drive(p)
+}
+
+// Broadcast sends an off-chain message from one participant to this
+// run's other participants. Announcements are scoped to the AC2T's
+// own parties: concurrent AC2Ts on shared chains must not see (or
+// trust) each other's contract locations.
+func (rt *Runtime) Broadcast(from *xchain.Participant, msg any) {
+	for _, q := range rt.cfg.Participants {
+		if q != from {
+			from.Tell(q, msg)
+		}
+	}
+}
+
+// Event appends a timeline entry.
+func (rt *Runtime) Event(edge int, label string) {
+	rt.events = append(rt.events, Event{At: rt.Now(), Label: label, Edge: edge})
+}
+
+// Timeline returns the run's events. The slice is live; callers must
+// treat it as read-only.
+func (rt *Runtime) Timeline() []Event { return rt.events }
+
+// TimelineEnd returns the latest event timestamp, at least start —
+// the observation end every protocol's Grade stamps on its outcome.
+func (rt *Runtime) TimelineEnd(start sim.Time) sim.Time {
+	end := start
+	for _, ev := range rt.events {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+	return end
+}
+
+// Throttle runs fn now unless it already ran for (p, key) within the
+// last interval — the guard that keeps a failing on-chain action from
+// being re-submitted on every wakeup.
+func (rt *Runtime) Throttle(p *xchain.Participant, key string, interval sim.Time, fn func()) {
+	st := rt.states[p]
+	now := rt.Now()
+	if last, ok := st.lastAttempt[key]; ok && now-last < interval {
+		return
+	}
+	st.lastAttempt[key] = now
+	fn()
+}
+
+// WakeAt arms a one-shot timer that re-drives p at absolute virtual
+// time t (clamped to now). While a timer for (p, key) is pending,
+// further arms are ignored — protocols can re-request a wake on every
+// drive without stacking events. This is how explicit protocol
+// deadlines (decision-push grace, refund timelocks) run without any
+// polling cadence.
+func (rt *Runtime) WakeAt(p *xchain.Participant, key string, t sim.Time) {
+	st := rt.states[p]
+	if st.armed[key] {
+		return
+	}
+	st.armed[key] = true
+	s := rt.cfg.World.Sim
+	if t < s.Now() {
+		t = s.Now()
+	}
+	s.At(t, func() {
+		st.armed[key] = false
+		rt.Drive(p)
+	})
+}
+
+// After schedules a run-level one-shot callback d from now, dropped
+// if the run stops first (protocol-wide deadlines like AbortAfter).
+func (rt *Runtime) After(d sim.Time, fn func()) {
+	rt.cfg.World.Sim.After(d, func() {
+		if !rt.stopped {
+			fn()
+		}
+	})
+}
+
+// EnsureTx reports whether tx is canonical at the given depth on p's
+// view of the chain, and keeps the submission alive meanwhile: a
+// transaction absent from the canonical chain for a whole resubmit
+// window (the client's ResubmitEvery) is re-multicast — covering
+// mempool wipes and fork losses. Because the check reads only chain
+// state, it survives crashes: a recovered participant's next drive
+// re-derives confirmation (or resubmits) with no watch to re-arm.
+func (rt *Runtime) EnsureTx(p *xchain.Participant, id chain.ID, tx *chain.Tx, depth int) bool {
+	c := p.Client(id)
+	view := c.Chain()
+	txID := tx.ID()
+	if b, _, found := view.FindTx(txID); found {
+		d, ok := view.DepthOf(b.Hash())
+		return ok && d >= depth
+	}
+	// Absent: in flight, purged, or dropped with a losing fork. The
+	// first observation opens the window; a resubmission happens only
+	// if the transaction is still absent a full window later.
+	st := rt.states[p]
+	key := "resubmit:" + string(txID[:])
+	now := rt.Now()
+	last, seen := st.lastAttempt[key]
+	if !seen || now-last >= c.ResubmitEvery {
+		if seen {
+			c.Submit(tx)
+		}
+		st.lastAttempt[key] = now
+	}
+	return false
+}
+
+// FindCall scans a canonical chain view newest-first for a call of fn
+// on the contract — how participants locate decision transactions
+// (AC3WN's authorize_* evidence) and extract revealed arguments
+// (HTLC's secret) from chain state alone.
+func FindCall(view *chain.Chain, contract crypto.Address, fn string) (*chain.Tx, bool) {
+	for h := view.Height(); ; h-- {
+		b, ok := view.CanonicalAt(h)
+		if !ok {
+			break
+		}
+		for _, tx := range b.Txs {
+			if tx.Kind == chain.TxCall && tx.Contract == contract && tx.Fn == fn {
+				return tx, true
+			}
+		}
+		if h == 0 {
+			break
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,198 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/sim"
+	"repro/internal/xchain"
+)
+
+// world builds a one-chain world with two funded participants.
+func world(t *testing.T, seed uint64) (*xchain.World, *xchain.Participant, *xchain.Participant) {
+	t.Helper()
+	b := xchain.NewBuilder(seed)
+	alice := b.Participant("alice")
+	bob := b.Participant("bob")
+	b.Chain(xchain.DefaultChainSpec("c0"))
+	b.Fund(alice, "c0", 1_000_000)
+	b.Fund(bob, "c0", 1_000_000)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, alice, bob
+}
+
+func TestRuntimeDrivesOnTipChanges(t *testing.T) {
+	w, alice, bob := world(t, 1)
+	drives := map[string]int{}
+	rt, err := New(Config{
+		World:        w,
+		Participants: []*xchain.Participant{alice, bob},
+		Chains:       []chain.ID{"c0", "c0"}, // duplicate must collapse
+		Drive:        func(p *xchain.Participant) { drives[p.Name]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	if drives["alice"] != 1 || drives["bob"] != 1 {
+		t.Fatalf("initial drive missing: %v", drives)
+	}
+	w.RunFor(2 * sim.Minute) // ~12 blocks
+	if drives["alice"] < 5 || drives["bob"] < 5 {
+		t.Fatalf("tip changes did not re-drive: %v", drives)
+	}
+	// Duplicate chain ids must not double-drive: both participants see
+	// the same notification count.
+	if drives["alice"] != drives["bob"] {
+		t.Fatalf("asymmetric drive counts: %v", drives)
+	}
+}
+
+func TestRuntimeCrashResumeLifecycle(t *testing.T) {
+	w, alice, bob := world(t, 2)
+	drives := 0
+	rt, err := New(Config{
+		World:        w,
+		Participants: []*xchain.Participant{alice, bob},
+		Chains:       []chain.ID{"c0"},
+		Drive: func(p *xchain.Participant) {
+			if p == bob {
+				drives++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	w.RunFor(time30s)
+	bob.Crash()
+	at := drives
+	w.RunFor(2 * sim.Minute)
+	if drives != at {
+		t.Fatalf("crashed participant was driven %d more times", drives-at)
+	}
+	bob.Recover()
+	rt.Resume(bob)
+	w.RunFor(sim.Minute)
+	if drives <= at+1 {
+		t.Fatal("resume did not re-arm subscriptions")
+	}
+}
+
+func TestRuntimeStopRetiresEverything(t *testing.T) {
+	w, alice, bob := world(t, 3)
+	drives := 0
+	var rt *Runtime
+	rt, err := New(Config{
+		World:        w,
+		Participants: []*xchain.Participant{alice, bob},
+		Chains:       []chain.ID{"c0"},
+		Drive: func(p *xchain.Participant) {
+			drives++
+			rt.WakeAt(p, "later", rt.Now()+time30s)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	w.RunFor(sim.Minute)
+	rt.Stop()
+	if !rt.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	at := drives
+	w.RunFor(3 * sim.Minute) // tip changes and armed wakes fire into the void
+	if drives != at {
+		t.Fatalf("stopped runtime drove %d more times", drives-at)
+	}
+	rt.Stop() // idempotent
+}
+
+func TestThrottleAndWakeAt(t *testing.T) {
+	w, alice, bob := world(t, 4)
+	var actions, wakes int
+	var rt *Runtime
+	due := sim.Time(0)
+	rt, err := New(Config{
+		World:        w,
+		Participants: []*xchain.Participant{alice, bob},
+		Chains:       []chain.ID{"c0"},
+		Drive: func(p *xchain.Participant) {
+			if p != alice {
+				return
+			}
+			rt.Throttle(p, "act", sim.Minute, func() { actions++ })
+			if due == 0 {
+				due = rt.Now() + 2*sim.Minute
+			}
+			if rt.Now() >= due {
+				wakes++
+			} else {
+				// Re-armed on every drive; must stay one pending timer.
+				rt.WakeAt(p, "due", due)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	w.RunUntil(5 * sim.Minute)
+	// One throttled action per minute at most (plus the initial one).
+	if actions > 6 {
+		t.Fatalf("throttle leaked: %d actions in 5 minutes", actions)
+	}
+	if actions < 3 {
+		t.Fatalf("throttle starved: %d actions in 5 minutes", actions)
+	}
+	if wakes == 0 {
+		t.Fatal("WakeAt never fired")
+	}
+}
+
+func TestEnsureTxConfirmsAndResubmits(t *testing.T) {
+	w, alice, bob := world(t, 5)
+	client := alice.Client("c0")
+	// Build a payment but never submit it: EnsureTx's keep-alive must
+	// eventually multicast it and then report depth-2 confirmation.
+	ins, change, err := client.SelectFunds(1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := []chain.TxOut{{Value: 1_000, Owner: bob.Addr()}}
+	if change > 0 {
+		outs = append(outs, chain.TxOut{Value: change, Owner: alice.Addr()})
+	}
+	tx := chain.NewTransfer(alice.Key, 1, ins, outs)
+
+	confirmed := false
+	var rt *Runtime
+	rt, err = New(Config{
+		World:        w,
+		Participants: []*xchain.Participant{alice, bob},
+		Chains:       []chain.ID{"c0"},
+		Drive: func(p *xchain.Participant) {
+			if p == alice && !confirmed {
+				confirmed = rt.EnsureTx(p, "c0", tx, 2)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	w.RunFor(10 * sim.Minute)
+	if !confirmed {
+		t.Fatal("EnsureTx never confirmed the kept-alive transaction")
+	}
+	if _, _, found := client.Chain().FindTx(tx.ID()); !found {
+		t.Fatal("transaction not on the canonical chain")
+	}
+}
+
+const time30s = 30 * sim.Second

@@ -3,13 +3,12 @@
 // [23] and Herlihy's single-leader generalization [16], both built on
 // hashlock/timelock (HTLC) contracts.
 //
-// The implementation is event-driven on the simulated chains: every
-// wait rides the miner layer's subscription-backed Watch* APIs (a
-// contract-state watch fires when the observing node's canonical tip
-// changes), and the only timers are the protocol's own Δ-derived
-// timelocks — the refunds of Nolan's construction — armed as explicit
-// one-shot deadlines. It reproduces the two properties the paper's
-// evaluation leans on:
+// The implementation runs on the shared reconciler runtime
+// (internal/protocol): the protocol is a step function driven by
+// tip-change notifications and announcements, and the only timers are
+// the protocol's own Δ-derived timelocks — the refunds of Nolan's
+// construction — armed as one-shot runtime wakes. It reproduces the
+// two properties the paper's evaluation leans on:
 //
 //   - Sequential structure: a participant publishes its outgoing
 //     contracts only after all its incoming contracts are confirmed,
@@ -18,7 +17,11 @@
 //   - Timelock fragility: a participant that crashes after the secret
 //     is revealed but before redeeming loses its assets when the
 //     timelock expires (the Section 1 "case against the current
-//     proposals"), which the atomicity experiment measures.
+//     proposals"). Resume works — a recovered participant re-derives
+//     the revealed secret from chain state and retries its redeems —
+//     but cannot rescue an expired timelock: the refund already
+//     executed, which is exactly the hazard the atomicity experiment
+//     measures and AC3WN's recovery avoids.
 package swap
 
 import (
@@ -28,17 +31,15 @@ import (
 	"repro/internal/contracts"
 	"repro/internal/crypto"
 	"repro/internal/graph"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/vm"
 	"repro/internal/xchain"
 )
 
-// Event is a timeline entry for the Figure 8 phase rendering.
-type Event struct {
-	At    sim.Time
-	Label string
-	Edge  int // -1 for protocol-level events
-}
+// Event is a timeline entry for the Figure 8 phase rendering, shared
+// with every protocol on the runtime.
+type Event = protocol.Event
 
 // Config configures one Herlihy/Nolan swap run.
 type Config struct {
@@ -68,19 +69,25 @@ type announceMsg struct {
 type Run struct {
 	w   *xchain.World
 	cfg Config
+	rt  *protocol.Runtime
 
 	secret    []byte
 	hashlock  crypto.Hash
-	start     sim.Time
 	layers    []int   // deployment layer per edge (BFS distance of source from leader)
 	timelocks []int64 // absolute timelock per edge
 
-	addrs     []crypto.Address // contract address per edge (zero until announced)
-	confirmed []bool           // deploy confirmed (at own view) per edge
+	addrs     []crypto.Address // announced contract address per edge
+	ownTx     []*chain.Tx      // sender-side deploy submissions
+	ownAddr   []crypto.Address
+	confirmed []bool // deploy confirmed (announced) per edge
+	announced []bool // sender announced edge i
 	deployed  map[*xchain.Participant]bool
-	redeeming map[*xchain.Participant]bool
+	secrets   map[*xchain.Participant][]byte // who has learned s
 
-	Events []Event
+	redeemSubmitted []bool
+	redeemConfirmed []bool
+	refundSubmitted []bool
+
 	// DeployPhaseEnd and RedeemPhaseEnd record Figure 8's two phase
 	// boundaries (when the last contract was confirmed / redeemed).
 	DeployPhaseEnd sim.Time
@@ -107,46 +114,59 @@ func New(w *xchain.World, cfg Config) (*Run, error) {
 			return nil, fmt.Errorf("swap: no participant object for vertex %s", v)
 		}
 	}
+	n := len(cfg.Graph.Edges)
 	r := &Run{
-		w:         w,
-		cfg:       cfg,
-		addrs:     make([]crypto.Address, len(cfg.Graph.Edges)),
-		confirmed: make([]bool, len(cfg.Graph.Edges)),
-		deployed:  make(map[*xchain.Participant]bool),
-		redeeming: make(map[*xchain.Participant]bool),
+		w:               w,
+		cfg:             cfg,
+		addrs:           make([]crypto.Address, n),
+		ownTx:           make([]*chain.Tx, n),
+		ownAddr:         make([]crypto.Address, n),
+		confirmed:       make([]bool, n),
+		announced:       make([]bool, n),
+		redeemSubmitted: make([]bool, n),
+		redeemConfirmed: make([]bool, n),
+		refundSubmitted: make([]bool, n),
+		deployed:        make(map[*xchain.Participant]bool),
+		secrets:         make(map[*xchain.Participant][]byte),
 	}
+	rt, err := protocol.New(protocol.Config{
+		World:        w,
+		Participants: cfg.Participants,
+		Chains:       cfg.Graph.Chains(),
+		Drive:        r.drive,
+		OnMessage:    r.onMessage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.rt = rt
 	return r, nil
-}
-
-// participant resolves a vertex address to its participant object.
-func (r *Run) participant(a crypto.Address) *xchain.Participant {
-	for _, p := range r.cfg.Participants {
-		if p.Addr() == a {
-			return p
-		}
-	}
-	return nil
 }
 
 // Start begins the swap at the current virtual time.
 func (r *Run) Start() {
-	r.start = r.w.Sim.Now()
 	r.secret = []byte(fmt.Sprintf("herlihy-secret-%d", r.cfg.Graph.Timestamp))
 	r.hashlock = crypto.Sum(r.secret)
+	r.secrets[r.cfg.Leader] = r.secret
 	r.computeSchedule()
-	for _, p := range r.cfg.Participants {
-		p := p
-		p.OnMessage(func(from *xchain.Participant, msg any) { r.onMessage(p, msg) })
-	}
-	// The leader deploys unconditionally; everyone else waits for
-	// their incoming contracts.
-	r.event(-1, "swap started")
-	r.deployOutgoing(r.cfg.Leader)
-	// Every sender arms a refund at its own timelocks.
-	for i, e := range r.cfg.Graph.Edges {
-		r.armRefund(i, e)
-	}
+	r.rt.Event(-1, "swap started")
+	// The runtime's initial drive makes the leader deploy
+	// unconditionally; everyone else waits for their incoming
+	// contracts, and every sender arms its refund timelocks.
+	r.rt.Start()
 }
+
+// Resume re-arms a recovered participant and re-drives it: the step
+// function re-derives the revealed secret and every contract state
+// from the chains. Recovery after a timelock expiry finds the refund
+// already executed — the Section 1 fragility, preserved by design.
+func (r *Run) Resume(p *xchain.Participant) { r.rt.Resume(p) }
+
+// Stop retires the run.
+func (r *Run) Stop() { r.rt.Stop() }
+
+// Events returns the run's timeline.
+func (r *Run) Events() []Event { return r.rt.Timeline() }
 
 // computeSchedule derives deployment layers and timelocks: a contract
 // whose sender is at BFS distance k from the leader deploys in step k
@@ -154,6 +174,7 @@ func (r *Run) Start() {
 // Nolan's t1 > t2 ordering with a safety margin of one Δ.
 func (r *Run) computeSchedule() {
 	g := r.cfg.Graph
+	start := r.w.Sim.Now()
 	dist := bfsDistances(g, r.cfg.Leader.Addr())
 	diam := g.Diameter()
 	r.layers = make([]int, len(g.Edges))
@@ -167,7 +188,7 @@ func (r *Run) computeSchedule() {
 			k = diam
 		}
 		r.layers[i] = k
-		r.timelocks[i] = int64(r.start) + int64(2*diam-k+1)*int64(r.cfg.Delta)
+		r.timelocks[i] = int64(start) + int64(2*diam-k+1)*int64(r.cfg.Delta)
 	}
 }
 
@@ -193,85 +214,89 @@ func bfsDistances(g *graph.Graph, src crypto.Address) map[crypto.Address]int {
 	return dist
 }
 
-// event appends a timeline entry.
-func (r *Run) event(edge int, label string) {
-	r.Events = append(r.Events, Event{At: r.w.Sim.Now(), Label: label, Edge: edge})
+// onMessage records a confirmed contract announcement (the runtime
+// re-drives the recipient, which advances its part of the protocol).
+func (r *Run) onMessage(p, from *xchain.Participant, msg any) {
+	if m, ok := msg.(announceMsg); ok {
+		r.noteConfirmed(m.EdgeIdx, m.Addr)
+	}
 }
 
-// tellPeers sends an off-chain message to this swap's other
-// participants only (concurrent swaps must not cross-talk).
-func (r *Run) tellPeers(from *xchain.Participant, msg any) {
-	for _, q := range r.cfg.Participants {
-		if q != from {
-			from.Tell(q, msg)
-		}
+// drive is the reconciler step function.
+func (r *Run) drive(p *xchain.Participant) {
+	now := r.w.Sim.Now()
+	// Sequential rule: the leader deploys unconditionally; everyone
+	// else once every incoming edge is confirmed.
+	if !r.deployed[p] && (p == r.cfg.Leader || r.incomingConfirmed(p.Addr())) {
+		r.deployOutgoing(p)
 	}
+	// Re-derive own-deploy confirmations from chain state and announce
+	// them. EnsureTx keeps submissions alive across forks and survives
+	// crashes (no watch to lose).
+	for i, e := range r.cfg.Graph.Edges {
+		if e.From != p.Addr() || r.ownTx[i] == nil || r.announced[i] {
+			continue
+		}
+		if !r.rt.EnsureTx(p, e.Chain, r.ownTx[i], r.cfg.ConfirmDepth) {
+			continue
+		}
+		r.announced[i] = true
+		r.rt.Event(i, "deploy confirmed")
+		r.noteConfirmed(i, r.ownAddr[i])
+		r.rt.Broadcast(p, announceMsg{EdgeIdx: i, Addr: r.ownAddr[i], TxID: r.ownTx[i].ID()})
+	}
+	// Learn s from chain state: a sender whose outgoing contract shows
+	// a *confirmed* redemption extracts the secret from the redeem
+	// call. Each hop therefore costs one Δ — the backward propagation
+	// that makes the redemption phase sequential in Diam(D) (Figure 8).
+	if r.secrets[p] == nil {
+		r.learnSecret(p)
+	}
+	// Redeem incoming contracts: the leader once everything is
+	// deployed, everyone else as soon as they know s.
+	if s := r.secrets[p]; s != nil && (p != r.cfg.Leader || r.allConfirmed()) {
+		r.redeemIncoming(p, s)
+	}
+	// Refund own contracts whose timelock expired; arm one-shot wakes
+	// for the pending ones.
+	r.refundExpired(p, now)
 }
 
 // deployOutgoing publishes all of p's outgoing contracts (once).
 func (r *Run) deployOutgoing(p *xchain.Participant) {
-	if r.deployed[p] || p.Crashed() {
-		return
-	}
 	r.deployed[p] = true
 	for i, e := range r.cfg.Graph.Edges {
-		if e.From != p.Addr() {
+		if e.From != p.Addr() || r.ownTx[i] != nil {
 			continue
 		}
-		i, e := i, e
 		params := vm.EncodeGob(contracts.HTLCParams{
 			Recipient: e.To,
 			Hashlock:  r.hashlock,
 			Timelock:  r.timelocks[i],
 		})
-		client := p.Client(e.Chain)
-		tx, addr, err := client.Deploy(contracts.TypeHTLC, params, e.Asset)
+		tx, addr, err := p.Client(e.Chain).Deploy(contracts.TypeHTLC, params, e.Asset)
 		if err != nil {
 			// Underfunded sender: the swap will abort via timelocks.
-			r.event(i, "deploy failed: "+err.Error())
+			r.rt.Event(i, "deploy failed: "+err.Error())
 			continue
 		}
 		p.Deploys++
-		r.event(i, "deploy submitted")
-		client.WhenTxAtDepth(tx, r.cfg.ConfirmDepth, func(crypto.Hash) {
-			r.event(i, "deploy confirmed")
-			r.tellPeers(p, announceMsg{EdgeIdx: i, Addr: addr, TxID: tx.ID()})
-			r.onAnnounce(p, announceMsg{EdgeIdx: i, Addr: addr, TxID: tx.ID()})
-		})
+		r.ownTx[i] = tx
+		r.ownAddr[i] = addr
+		r.rt.Event(i, "deploy submitted")
 	}
 }
 
-// onMessage handles off-chain announcements at participant p.
-func (r *Run) onMessage(p *xchain.Participant, msg any) {
-	if m, ok := msg.(announceMsg); ok {
-		r.onAnnounce(p, m)
+// noteConfirmed records a confirmed contract (from the sender's own
+// view or a peer's announcement) and marks the deploy-phase boundary.
+func (r *Run) noteConfirmed(i int, addr crypto.Address) {
+	if r.addrs[i].IsZero() {
+		r.addrs[i] = addr
 	}
-}
-
-// onAnnounce records a confirmed contract and advances p's part of
-// the protocol: deploy once all incoming contracts exist; the leader
-// starts redemption once everything is deployed.
-func (r *Run) onAnnounce(p *xchain.Participant, m announceMsg) {
-	if r.addrs[m.EdgeIdx].IsZero() {
-		r.addrs[m.EdgeIdx] = m.Addr
-	}
-	r.confirmed[m.EdgeIdx] = true
-
+	r.confirmed[i] = true
 	if r.allConfirmed() && r.DeployPhaseEnd == 0 {
 		r.DeployPhaseEnd = r.w.Sim.Now()
-		r.event(-1, "all contracts deployed")
-	}
-
-	// Sequential rule: p deploys its outgoing edges once every
-	// incoming edge is confirmed.
-	if !r.deployed[p] && r.incomingConfirmed(p.Addr()) {
-		r.deployOutgoing(p)
-	}
-
-	// The leader starts the redemption phase when everything is
-	// deployed.
-	if p == r.cfg.Leader && r.allConfirmed() {
-		r.startRedemption(p, r.secret)
+		r.rt.Event(-1, "all contracts deployed")
 	}
 }
 
@@ -295,116 +320,120 @@ func (r *Run) allConfirmed() bool {
 	return true
 }
 
-// startRedemption makes p redeem all its incoming contracts with the
-// secret, then watch for completion.
-func (r *Run) startRedemption(p *xchain.Participant, secret []byte) {
-	if r.redeeming[p] || p.Crashed() {
-		return
+// learnSecret extracts s from a confirmed redemption of one of p's
+// outgoing contracts — how the secret travels along counterparty
+// edges once it is revealed on-chain.
+func (r *Run) learnSecret(p *xchain.Participant) {
+	for i, e := range r.cfg.Graph.Edges {
+		if e.From != p.Addr() || r.addrs[i].IsZero() {
+			continue
+		}
+		client := p.Client(e.Chain)
+		ct, ok := client.ContractNow(r.addrs[i], r.cfg.ConfirmDepth)
+		if !ok {
+			continue
+		}
+		if h, isH := ct.(*contracts.HTLC); !isH || h.State != contracts.StateRedeemed {
+			continue
+		}
+		if tx, found := protocol.FindCall(client.Chain(), r.addrs[i], contracts.FnRedeem); found {
+			r.secrets[p] = tx.Args
+			return
+		}
 	}
-	r.redeeming[p] = true
+}
+
+// redeemIncoming makes p redeem its incoming contracts with the
+// secret, and records the Figure 8 redemption boundary as redeems are
+// publicly recognized (confirmed at depth d, the paper's Δ
+// semantics).
+func (r *Run) redeemIncoming(p *xchain.Participant, secret []byte) {
 	for i, e := range r.cfg.Graph.Edges {
 		if e.To != p.Addr() || r.addrs[i].IsZero() {
 			continue
 		}
-		i, e := i, e
 		client := p.Client(e.Chain)
-		if _, err := client.Call(r.addrs[i], contracts.FnRedeem, secret, 0); err == nil {
-			p.Calls++
-			r.event(i, "redeem submitted")
+		ct, ok := client.ContractNow(r.addrs[i], 0)
+		if !ok {
+			continue
 		}
-		// Watch for the redeem to be publicly recognized (confirmed
-		// at depth d), matching the paper's Δ semantics.
-		client.WhenContract(r.addrs[i], r.cfg.ConfirmDepth, func(ct vm.Contract) bool {
-			h, ok := ct.(*contracts.HTLC)
-			return ok && h.State == contracts.StateRedeemed
-		}, func() {
-			r.event(i, "redeem confirmed")
-			r.RedeemPhaseEnd = r.w.Sim.Now()
+		h, isH := ct.(*contracts.HTLC)
+		if !isH {
+			continue
+		}
+		if h.State == contracts.StateRedeemed {
+			if r.redeemConfirmed[i] {
+				continue
+			}
+			if deep, okDeep := client.ContractNow(r.addrs[i], r.cfg.ConfirmDepth); okDeep {
+				if hd, isHd := deep.(*contracts.HTLC); isHd && hd.State == contracts.StateRedeemed {
+					r.redeemConfirmed[i] = true
+					r.rt.Event(i, "redeem confirmed")
+					r.RedeemPhaseEnd = r.w.Sim.Now()
+				}
+			}
+			continue
+		}
+		if h.State != contracts.StatePublished {
+			continue
+		}
+		i := i
+		r.rt.Throttle(p, fmt.Sprintf("redeem-%d", i), r.retryEvery(), func() {
+			if _, err := client.Call(r.addrs[i], contracts.FnRedeem, secret, 0); err == nil {
+				p.Calls++
+				if !r.redeemSubmitted[i] {
+					r.redeemSubmitted[i] = true
+					r.rt.Event(i, "redeem submitted")
+				}
+			}
 		})
 	}
-	// Non-leaders: also arm secret extraction for the participants
-	// upstream (they watch their outgoing contracts being redeemed).
-	r.armSecretWatches()
 }
 
-// armSecretWatches makes every sender watch its own outgoing
-// contracts; when one is redeemed, the sender extracts the secret
-// from the redeem transaction and starts redeeming its own incoming
-// edges. This is the backward propagation Herlihy's analysis counts:
-// the secret travels along counterparty edges, one Δ per hop, which
-// is exactly why the redemption phase costs Diam(D)·Δ (Figure 8). A
-// well-formed swap graph gives every participant at least one
-// outgoing edge, so everyone eventually learns s.
-func (r *Run) armSecretWatches() {
+// refundExpired submits p's refunds for its own contracts whose
+// timelock has passed and which are still locked, arming a one-shot
+// wake for each pending deadline.
+func (r *Run) refundExpired(p *xchain.Participant, now sim.Time) {
 	for i, e := range r.cfg.Graph.Edges {
+		if e.From != p.Addr() {
+			continue
+		}
+		refundAt := r.timelocks[i] + int64(r.cfg.Delta)/4
+		if now < refundAt {
+			r.rt.WakeAt(p, fmt.Sprintf("refund-due-%d", i), refundAt)
+			continue
+		}
 		if r.addrs[i].IsZero() {
 			continue
 		}
-		i, e := i, e
-		sender := r.participant(e.From)
-		if sender == nil || sender.Crashed() || r.redeeming[sender] {
+		client := p.Client(e.Chain)
+		ct, ok := client.ContractNow(r.addrs[i], 0)
+		if !ok {
 			continue
 		}
-		client := sender.Client(e.Chain)
-		// Senders act on *confirmed* redemptions (depth d): each
-		// secret hop therefore costs one Δ, which is what makes the
-		// redemption phase sequential in Diam(D).
-		client.WhenContract(r.addrs[i], r.cfg.ConfirmDepth, func(ct vm.Contract) bool {
-			h, ok := ct.(*contracts.HTLC)
-			return ok && h.State == contracts.StateRedeemed
-		}, func() {
-			if secret, ok := findRedeemSecret(client.Chain(), r.addrs[i]); ok {
-				r.startRedemption(sender, secret)
+		if h, isH := ct.(*contracts.HTLC); !isH || h.State != contracts.StatePublished {
+			continue
+		}
+		i := i
+		r.rt.Throttle(p, fmt.Sprintf("refund-%d", i), r.retryEvery(), func() {
+			if _, err := client.Call(r.addrs[i], contracts.FnRefund, nil, 0); err == nil {
+				p.Calls++
+				if !r.refundSubmitted[i] {
+					r.refundSubmitted[i] = true
+					r.rt.Event(i, "refund submitted")
+				}
 			}
 		})
 	}
 }
 
-// armRefund schedules the sender's refund at the edge's timelock.
-func (r *Run) armRefund(i int, e graph.Edge) {
-	sender := r.participant(e.From)
-	if sender == nil {
-		return
+// retryEvery is the throttle interval for re-submitting redeem/refund
+// calls that have not landed yet (a quarter Δ, at least a second).
+func (r *Run) retryEvery() sim.Time {
+	if d := r.cfg.Delta / 4; d > sim.Second {
+		return d
 	}
-	refundAt := r.timelocks[i] + int64(r.cfg.Delta)/4
-	r.w.Sim.At(refundAt, func() {
-		if sender.Crashed() || r.addrs[i].IsZero() {
-			return
-		}
-		client := sender.Client(e.Chain)
-		ct, ok := client.ContractNow(r.addrs[i], 0)
-		if !ok {
-			return
-		}
-		if h, isHTLC := ct.(*contracts.HTLC); !isHTLC || h.State != contracts.StatePublished {
-			return
-		}
-		if _, err := client.Call(r.addrs[i], contracts.FnRefund, nil, 0); err == nil {
-			sender.Calls++
-			r.event(i, "refund submitted")
-		}
-	})
-}
-
-// findRedeemSecret scans the canonical chain (newest first) for the
-// redeem call on addr and returns its argument — how a participant
-// learns s once it is revealed on-chain.
-func findRedeemSecret(view *chain.Chain, addr crypto.Address) ([]byte, bool) {
-	for h := view.Height(); ; h-- {
-		b, ok := view.CanonicalAt(h)
-		if !ok {
-			break
-		}
-		for _, tx := range b.Txs {
-			if tx.Kind == chain.TxCall && tx.Contract == addr && tx.Fn == contracts.FnRedeem {
-				return tx.Args, true
-			}
-		}
-		if h == 0 {
-			break
-		}
-	}
-	return nil, false
+	return sim.Second
 }
 
 // Addrs exposes the per-edge contract addresses (for grading).
@@ -428,29 +457,9 @@ func (r *Run) Settled() bool {
 // redeem/refund calls — Section 6.2's baseline cost).
 func (r *Run) Grade() *xchain.Outcome {
 	out := xchain.GradeGraph(r.w, r.cfg.Graph, r.addrs)
-	out.Start = r.start
-	end := r.start
-	for _, ev := range r.Events {
-		if ev.At > end {
-			end = ev.At
-		}
-	}
-	out.End = end
-	perChain := make(map[chain.ID]map[crypto.Address]bool)
-	for i, e := range r.cfg.Graph.Edges {
-		if r.addrs[i].IsZero() {
-			continue
-		}
-		if perChain[e.Chain] == nil {
-			perChain[e.Chain] = make(map[crypto.Address]bool)
-		}
-		perChain[e.Chain][r.addrs[i]] = true
-	}
-	for id, set := range perChain {
-		d, c := xchain.CountContractOps(r.w.View(id), set)
-		out.Deploys += d
-		out.Calls += c
-	}
+	out.Start = r.rt.StartedAt()
+	out.End = r.rt.TimelineEnd(out.Start)
+	out.Deploys, out.Calls = xchain.CountGraphOps(r.w, r.cfg.Graph, r.addrs)
 	return out
 }
 

@@ -91,7 +91,7 @@ func TestSwapSequentialDeployment(t *testing.T) {
 	// Bob's deploy (edge 1, layer 1) must be submitted only after
 	// alice's (edge 0, layer 0) confirmed — the sequential structure.
 	var aliceConfirmed, bobSubmitted sim.Time
-	for _, ev := range r.Events {
+	for _, ev := range r.Events() {
 		if ev.Edge == 0 && ev.Label == "deploy confirmed" && aliceConfirmed == 0 {
 			aliceConfirmed = ev.At
 		}
@@ -148,7 +148,7 @@ func TestSwapCrashAfterRevealViolatesAtomicity(t *testing.T) {
 	// that would let bob observe the secret.
 	sawRedeem := false
 	w.Sim.Poll(100*sim.Millisecond, func() bool {
-		for _, ev := range r.Events {
+		for _, ev := range r.Events() {
 			if ev.Edge == 1 && ev.Label == "redeem submitted" {
 				sawRedeem = true
 				bob.Crash()
@@ -176,13 +176,16 @@ func TestSwapCrashAfterRevealViolatesAtomicity(t *testing.T) {
 }
 
 func TestSwapCrashedBobRecoversTooLate(t *testing.T) {
-	// Variation: bob recovers after the timelock. Recovery does not
-	// help — the asset is gone. (AC3WN's core test shows the
-	// contrast: recovery there redeems successfully.)
+	// Variation: bob recovers after the timelock and the runtime
+	// resumes his reconciler — it re-derives the revealed secret from
+	// chain state and retries his redeem, but the refund already
+	// executed. Recovery does not help; the asset is gone. (AC3WN's
+	// core test shows the contrast: recovery there redeems
+	// successfully.)
 	w, r, alice, bob := twoPartyWorld(t, 104)
 	r.Start()
 	w.Sim.Poll(100*sim.Millisecond, func() bool {
-		for _, ev := range r.Events {
+		for _, ev := range r.Events() {
 			if ev.Edge == 1 && ev.Label == "redeem submitted" {
 				bob.Crash()
 				return true
@@ -192,12 +195,7 @@ func TestSwapCrashedBobRecoversTooLate(t *testing.T) {
 	})
 	w.RunUntil(2 * sim.Hour) // timelocks expire; alice refunds SC1
 	bob.Recover()
-	// Bob tries to redeem SC1 now.
-	addrs := r.Addrs()
-	if !addrs[0].IsZero() {
-		client := bob.Client("bitcoin")
-		_, _ = client.Call(addrs[0], contracts.FnRedeem, r.Secret(), 0)
-	}
+	r.Resume(bob)
 	w.RunUntil(w.Sim.Now() + 20*sim.Minute)
 	w.StopMining()
 	w.RunFor(sim.Minute)

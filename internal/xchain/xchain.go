@@ -390,6 +390,28 @@ func CountContractOps(view *chain.Chain, addrs map[crypto.Address]bool) (deploys
 	return deploys, calls
 }
 
+// CountGraphOps totals CountContractOps over an AC2T's announced
+// asset contracts, grouped per chain — the shared fee-accounting core
+// behind every protocol's Grade.
+func CountGraphOps(w *World, g *graph.Graph, addrs []crypto.Address) (deploys, calls int) {
+	perChain := make(map[chain.ID]map[crypto.Address]bool)
+	for i, e := range g.Edges {
+		if i >= len(addrs) || addrs[i].IsZero() {
+			continue
+		}
+		if perChain[e.Chain] == nil {
+			perChain[e.Chain] = make(map[crypto.Address]bool)
+		}
+		perChain[e.Chain][addrs[i]] = true
+	}
+	for id, set := range perChain {
+		d, c := CountContractOps(w.View(id), set)
+		deploys += d
+		calls += c
+	}
+	return deploys, calls
+}
+
 // AllSettled scans an AC2T's announced asset contracts on the
 // ground-truth views: settled reports that every announced contract
 // exists on-chain and has left Published (redeemed or refunded);
