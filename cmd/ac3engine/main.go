@@ -6,12 +6,26 @@
 //
 //	ac3engine [-shards N] [-txs N] [-seed N] [-workers N]
 //	          [-protocol ac3wn|ac3tw|htlc] [-arrival sec] [-inflight N]
-//	          [-timeout min] [-chains N] [-mix commit,abort,crash,race]
+//	          [-timeout min] [-chains N]
+//	          [-mix commit,abort,crash,race[,partition,lossy,geo]]
+//	          [-loss P] [-partitionfor min]
 //	          [-sizes 2:6,3:3,4:1] [-progress] [-strict] [-execbudget N]
 //	          [-cpuprofile file] [-memprofile file]
 //
+// The -mix flag takes four weights (the classic scenario matrix) or
+// seven, adding the network-adversity scenarios: partition splits the
+// transaction's decision chain during its decision window and heals
+// -partitionfor minutes later, lossy drops each gossip message with
+// probability -loss on every chain the AC2T touches, and geo skews
+// the asset chains to intercontinental/WAN link classes so
+// confirmation depths race. Adversity outcomes surface in the JSON
+// aggregates as forks_observed, max_reorg_depth, and msgs_dropped.
+//
 // The run is deterministic: the same flags always produce
-// byte-identical JSON aggregates, regardless of worker scheduling.
+// byte-identical JSON aggregates, regardless of worker scheduling —
+// partition windows ride the virtual clock and every loss draw comes
+// from the per-shard forked RNGs, so adversity never breaks
+// reproducibility.
 // Wall-clock diagnostics go to stderr so stdout stays parseable.
 package main
 
@@ -39,7 +53,9 @@ func main() {
 	inflight := flag.Int("inflight", 8, "max concurrent AC2Ts per shard (backpressure cap)")
 	timeout := flag.Float64("timeout", 45, "per-transaction grading deadline, virtual minutes")
 	chains := flag.Int("chains", 2, "asset chains per shard world (plus one witness chain)")
-	mix := flag.String("mix", "7,2,1,1", "scenario weights: commit,abort,crash,race")
+	mix := flag.String("mix", "7,2,1,1", "scenario weights: commit,abort,crash,race[,partition,lossy,geo]")
+	loss := flag.Float64("loss", 0.25, "lossy-scenario gossip drop probability in (0,1)")
+	partitionFor := flag.Float64("partitionfor", 6, "partition-scenario split duration, virtual minutes")
 	sizes := flag.String("sizes", "2:6,3:3,4:1", "graph size distribution as size:weight,...")
 	progress := flag.Bool("progress", false, "report live progress to stderr")
 	strict := flag.Bool("strict", false, "exit non-zero unless every transaction settled (graded, none stuck) with zero atomicity violations")
@@ -67,6 +83,8 @@ func main() {
 	wl.MaxInFlight = *inflight
 	wl.TxTimeout = sim.Time(*timeout * float64(sim.Minute))
 	wl.AssetChains = *chains
+	wl.Adversity.Loss = *loss
+	wl.Adversity.PartitionFor = sim.Time(*partitionFor * float64(sim.Minute))
 
 	var err error
 	if wl.Mix, err = parseMix(*mix); err != nil {
@@ -136,6 +154,8 @@ func main() {
 		agg.SimEventsPerTx)
 	fmt.Fprintf(os.Stderr, "blocks: %d mined, %d executed (%.1f per settled AC2T), exec cache hit rate %.1f%%\n",
 		agg.BlocksMined, agg.BlocksExecuted, agg.BlocksExecutedPerTx, 100*agg.ExecHitRate)
+	fmt.Fprintf(os.Stderr, "adversity: %d forks observed, max reorg depth %d, %d msgs dropped\n",
+		agg.ForksObserved, agg.MaxReorgDepth, agg.MsgsDropped)
 	// Violations always fail AC3WN runs (the protocol's core claim);
 	// for the baselines they only fail under -strict, since producing
 	// them is often the point of the experiment.
@@ -160,13 +180,14 @@ func main() {
 	}
 }
 
-// parseMix parses "commit,abort,crash,race" weights.
+// parseMix parses "commit,abort,crash,race" weights, optionally
+// extended with ",partition,lossy,geo".
 func parseMix(s string) (engine.Mix, error) {
 	parts := strings.Split(s, ",")
-	if len(parts) != 4 {
-		return engine.Mix{}, fmt.Errorf("mix must be 4 comma-separated weights, got %q", s)
+	if len(parts) != 4 && len(parts) != 7 {
+		return engine.Mix{}, fmt.Errorf("mix must be 4 or 7 comma-separated weights, got %q", s)
 	}
-	w := make([]int, 4)
+	w := make([]int, 7)
 	for i, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
@@ -174,7 +195,10 @@ func parseMix(s string) (engine.Mix, error) {
 		}
 		w[i] = v
 	}
-	return engine.Mix{Commit: w[0], Abort: w[1], Crash: w[2], Race: w[3]}, nil
+	return engine.Mix{
+		Commit: w[0], Abort: w[1], Crash: w[2], Race: w[3],
+		Partition: w[4], Lossy: w[5], Geo: w[6],
+	}, nil
 }
 
 // parseSizes parses "size:weight,..." into a distribution.

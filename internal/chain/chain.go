@@ -29,6 +29,11 @@ type Chain struct {
 	// Reorgs counts canonical-tip switches to a non-descendant block;
 	// the fork experiments read it.
 	Reorgs int
+	// MaxReorgDepth is the deepest reorg this view performed: the
+	// largest number of canonical blocks disconnected by one tip
+	// switch. Partition heals produce the deep ones — the adversity
+	// aggregates surface it.
+	MaxReorgDepth int
 }
 
 // GenesisAlloc maps addresses to initial balances minted in the
@@ -259,6 +264,9 @@ func (c *Chain) setTip(b *Block) {
 		}
 		disconnected = append(disconnected, c.exec.blocks[h])
 		delete(c.canonical, hgt)
+	}
+	if reorg && len(disconnected) > c.MaxReorgDepth {
+		c.MaxReorgDepth = len(disconnected)
 	}
 	ev := TipEvent{Old: old, New: b, Connected: connected, Disconnected: disconnected, Reorg: reorg}
 	for _, fn := range c.listeners {

@@ -36,6 +36,15 @@ import (
 // with every protocol on the runtime.
 type Event = protocol.Event
 
+// DefaultStableDepth is the default burial depth for checkpoint
+// anchors — far beyond the confirmation depths, deep enough that no
+// fork race or engine-scale partition window rolls the anchor back.
+// (A 6-minute partition leaves a minority node a ~12-block private
+// fork at 10s blocks; 30 buries the anchor well under that with
+// margin, and chains shorter than 30 blocks simply anchor at
+// genesis.)
+const DefaultStableDepth = 30
+
 // Config configures one AC3WN run.
 type Config struct {
 	Graph        *graph.Graph
@@ -53,6 +62,17 @@ type Config struct {
 	// AssetDepth is the confirmation depth required of asset-chain
 	// contract deployments.
 	AssetDepth int
+	// StableDepth is how deep a block must be buried before the
+	// protocol anchors an immutable checkpoint at it: SCw's per-asset-
+	// chain checkpoints and every asset contract's witness checkpoint.
+	// Confirmation depths answer "when do I believe a state change";
+	// StableDepth answers "which block will still be canonical after
+	// the network misbehaves" — both redeem and refund verify through
+	// the stored anchor, so an anchor that reorgs away (a partition
+	// heal rolling back a shallow 'stable' block) locks the asset
+	// forever. Defaults to DefaultStableDepth; the adversarial-network
+	// engine scenarios are what flushed this out.
+	StableDepth int
 	// AbortAfter (>0) makes participants push authorize_refund if the
 	// AC2T has not committed by start+AbortAfter — the paper's "a
 	// participant changes her mind / declines" path.
@@ -113,6 +133,7 @@ type Run struct {
 	CompletedAt      sim.Time
 	DecidedOutcome   contracts.WitnessState
 	terminalReported map[int]bool
+	anchorReported   map[int]bool
 }
 
 // announceSCw and announceDeploy are the off-chain messages.
@@ -153,6 +174,15 @@ func New(w *xchain.World, cfg Config) (*Run, error) {
 	if cfg.RetryEvery <= 0 {
 		cfg.RetryEvery = w.Nets[cfg.WitnessChain].Params.BlockInterval / 2
 	}
+	if cfg.StableDepth <= 0 {
+		cfg.StableDepth = DefaultStableDepth
+	}
+	if cfg.StableDepth < cfg.WitnessDepth {
+		cfg.StableDepth = cfg.WitnessDepth
+	}
+	if cfg.StableDepth < cfg.AssetDepth {
+		cfg.StableDepth = cfg.AssetDepth
+	}
 	n := len(cfg.Graph.Edges)
 	r := &Run{
 		w:                w,
@@ -166,6 +196,7 @@ func New(w *xchain.World, cfg Config) (*Run, error) {
 		announced:        make([]bool, n),
 		states:           make(map[*xchain.Participant]*pstate),
 		terminalReported: make(map[int]bool),
+		anchorReported:   make(map[int]bool),
 	}
 	for _, p := range cfg.Participants {
 		r.states[p] = &pstate{}
@@ -328,7 +359,7 @@ func (r *Run) deploySCw(p *xchain.Participant) {
 	cpHashes := make(map[chain.ID]crypto.Hash)
 	for _, id := range r.cfg.Graph.Chains() {
 		view := p.Client(id).Chain()
-		stable, ok := view.CanonicalAt(heightAtDepth(view, r.cfg.AssetDepth))
+		stable, ok := view.CanonicalAt(heightAtDepth(view, r.cfg.StableDepth))
 		if !ok {
 			return // chain too short; retry on a later notification
 		}
@@ -430,7 +461,7 @@ func (r *Run) deployOwnEdges(p *xchain.Participant, st *pstate) {
 			continue
 		}
 		wview := p.Client(r.cfg.WitnessChain).Chain()
-		stable, ok := wview.CanonicalAt(heightAtDepth(wview, r.cfg.WitnessDepth))
+		stable, ok := wview.CanonicalAt(heightAtDepth(wview, r.cfg.StableDepth))
 		if !ok {
 			st.deployedOwn = false
 			return
@@ -602,6 +633,7 @@ func (r *Run) settle(p *xchain.Participant, commit bool) {
 		r.rt.Throttle(p, fmt.Sprintf("%s-%d", action, i), 6*r.cfg.RetryEvery, func() {
 			ev, err := r.witnessEvidenceFor(p, sc, fn)
 			if err != nil {
+				r.noteOrphanedAnchor(p, i, sc)
 				return
 			}
 			if _, err := client.Call(r.addrs[i], action, ev, 0); err == nil {
@@ -623,6 +655,43 @@ func (r *Run) noteTerminal(i int, sc *contracts.PermissionlessSC, ok bool) {
 		r.CompletedAt = r.w.Sim.Now()
 		r.rt.Event(-1, "all contracts settled")
 	}
+}
+
+// noteOrphanedAnchor surfaces the one evidence failure that can never
+// heal: the contract's stored witness checkpoint is no longer
+// canonical on p's witness view (a reorg deeper than the anchor rolled
+// it back), so neither redeem nor refund evidence can ever verify and
+// the asset is locked. StableDepth exists to keep this from happening;
+// if it does anyway, the timeline says so once instead of the retry
+// loop failing silently forever.
+func (r *Run) noteOrphanedAnchor(p *xchain.Participant, i int, sc *contracts.PermissionlessSC) {
+	if r.anchorReported[i] {
+		return
+	}
+	hdr, err := chain.DecodeHeader(sc.WitnessCheckpoint)
+	if err != nil {
+		r.anchorReported[i] = true
+		r.rt.Event(i, "witness checkpoint corrupt — asset unrecoverable")
+		return
+	}
+	wview := p.Client(r.cfg.WitnessChain).Chain()
+	if wview.IsCanonical(hdr.Hash()) {
+		return // anchor fine: evidence just is not stable yet
+	}
+	// Not canonical on this view — which covers an anchor block the
+	// view has never even seen (it lived only on the deployer's
+	// minority fork and abandoned forks are not re-gossiped). Declare
+	// it dead only once the canonical chain has buried the anchor's
+	// height a full StableDepth under a different block: before that,
+	// a reorg could still resurrect it.
+	if wview.Height() < hdr.Height+uint64(r.cfg.StableDepth) {
+		return
+	}
+	if cb, ok := wview.CanonicalAt(hdr.Height); !ok || cb.Hash() == hdr.Hash() {
+		return
+	}
+	r.anchorReported[i] = true
+	r.rt.Event(i, "witness checkpoint orphaned — asset unrecoverable")
 }
 
 // witnessEvidenceFor builds SPV evidence that SCw's state-changing

@@ -115,6 +115,16 @@ type ShardResult struct {
 	BlocksExecuted uint64 `json:"blocks_executed"`
 	BlockExecHits  uint64 `json:"block_exec_cache_hits"`
 
+	// Adversity accounting: ForksObserved totals canonical-tip reorgs
+	// across every node view in the shard (each one a fork race some
+	// replica lost), MaxReorgDepth is the deepest canonical rollback
+	// any view performed (partition heals produce these), and
+	// MsgsDropped counts gossip messages lost to the loss model, a
+	// partition, or a crashed endpoint.
+	ForksObserved int    `json:"forks_observed"`
+	MaxReorgDepth int    `json:"max_reorg_depth"`
+	MsgsDropped   uint64 `json:"msgs_dropped"`
+
 	// latencies in virtual ms, grading order; merged (and only then
 	// sorted) by the engine for aggregate percentiles.
 	latencies []int64

@@ -5,8 +5,10 @@
 //
 // The design splits determinism from parallelism. A generated
 // workload (ring AC2Ts with configurable arrival rate, graph-size
-// distribution and commit/abort/crash/attack mix) is partitioned
-// across N shards. Each shard owns an independent deterministic sim
+// distribution, and a scenario mix spanning commits, declines,
+// crash-recovery, decision races, and network adversity —
+// decision-window partitions, sustained gossip loss, geo-skewed
+// links) is partitioned across N shards. Each shard owns an independent deterministic sim
 // world — its own chains, miners and witness network, seeded from the
 // master seed — and executes its transaction stream through the
 // existing core.AC3WN / core.AC3TW / swap runners with per-shard
@@ -139,6 +141,17 @@ type Aggregate struct {
 	// the budget the CI bench smoke enforces.
 	BlocksExecutedPerTx float64 `json:"blocks_executed_per_tx"`
 
+	// Adversity accounting across all shards: total canonical-tip
+	// reorgs observed by any node view, the deepest canonical rollback
+	// any view performed, and gossip messages dropped by the loss
+	// model, partitions, or crashed endpoints. These are the
+	// network-hostility counters the partition/lossy/geo scenarios are
+	// graded against — zero across the board means the run never left
+	// the friendly-network regime.
+	ForksObserved int    `json:"forks_observed"`
+	MaxReorgDepth int    `json:"max_reorg_depth"`
+	MsgsDropped   uint64 `json:"msgs_dropped"`
+
 	PerShard []ShardResult `json:"per_shard"`
 }
 
@@ -227,6 +240,11 @@ func (e *Engine) assemble(results []*ShardResult) *Aggregate {
 		agg.BlocksMined += r.BlocksMined
 		agg.BlocksExecuted += r.BlocksExecuted
 		agg.BlockExecHits += r.BlockExecHits
+		agg.ForksObserved += r.ForksObserved
+		if r.MaxReorgDepth > agg.MaxReorgDepth {
+			agg.MaxReorgDepth = r.MaxReorgDepth
+		}
+		agg.MsgsDropped += r.MsgsDropped
 		if r.MakespanVirtualMs > agg.MakespanVirtualMs {
 			agg.MakespanVirtualMs = r.MakespanVirtualMs
 		}

@@ -122,6 +122,71 @@ func TestMixedScenarioAtomicity(t *testing.T) {
 	}
 }
 
+// adversityWorkload mixes the classic matrix with the network-
+// hostility scenarios.
+func adversityWorkload(txs int) Workload {
+	wl := DefaultWorkload()
+	wl.Txs = txs
+	wl.ArrivalEvery = 15 * sim.Second
+	wl.Mix = Mix{Commit: 3, Abort: 1, Crash: 1, Race: 1, Partition: 2, Lossy: 2, Geo: 2}
+	return wl
+}
+
+// TestAdversityDeterminism extends the byte-identical guarantee to
+// the hostile-network regime: partition windows, loss draws, and
+// latency overlays must all ride the per-shard clocks and forked
+// RNGs, so worker scheduling still cannot leak into the aggregates.
+func TestAdversityDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Shards: 4, Workload: adversityWorkload(28)}
+	a := run(t, cfg)
+	cfg.Workers = 1
+	b := run(t, cfg)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("adversity aggregates differ across worker counts:\n%s\n----\n%s", aj, bj)
+	}
+	if a.MsgsDropped == 0 {
+		t.Fatal("no messages dropped — the lossy scenario never bit")
+	}
+	if a.ForksObserved == 0 || a.MaxReorgDepth == 0 {
+		t.Fatalf("no forks observed under adversity (forks=%d depth=%d)",
+			a.ForksObserved, a.MaxReorgDepth)
+	}
+}
+
+// TestAdversityAtomicity is the tentpole claim at engine scale: with
+// partitions splitting decision windows, sustained gossip loss, and
+// geo-skewed links all hammering the same shard worlds, AC3WN still
+// settles everything without a single atomicity violation — the
+// regime the paper's Section 1 argues the baselines cannot survive.
+func TestAdversityAtomicity(t *testing.T) {
+	agg := run(t, Config{Seed: 9, Shards: 3, Workload: adversityWorkload(30)})
+	if agg.Graded != 30 {
+		t.Fatalf("graded %d/30", agg.Graded)
+	}
+	if agg.Violations != 0 {
+		t.Fatalf("AC3WN violated atomicity %d times under network adversity", agg.Violations)
+	}
+	for _, sc := range []Scenario{ScenarioPartition, ScenarioLossy, ScenarioGeo} {
+		st, ok := agg.ByScenario[sc]
+		if !ok || st.Txs == 0 {
+			t.Fatalf("scenario %s never drawn: %+v", sc, agg.ByScenario)
+		}
+		if st.Violations != 0 {
+			t.Fatalf("scenario %s violated atomicity %d times", sc, st.Violations)
+		}
+		// Non-blocking under adversity: every hostile transaction still
+		// settles (commit or clean abort) before its grading deadline.
+		if st.Commits+st.Aborts != st.Txs {
+			t.Fatalf("scenario %s left %d stuck", sc, st.Txs-st.Commits-st.Aborts)
+		}
+	}
+	if agg.MsgsDropped == 0 {
+		t.Fatal("adversity run dropped no messages")
+	}
+}
+
 // TestBackpressureQueues proves the in-flight cap actually defers
 // arrivals: with a cap of 1 and a fast arrival process, later
 // transactions must start (and therefore finish) strictly after
@@ -185,6 +250,18 @@ func TestConfigValidation(t *testing.T) {
 	wl4 := DefaultWorkload()
 	wl4.Sizes = []SizeWeight{{Size: 1, Weight: 1}}
 	bad = append(bad, Config{Seed: 1, Shards: 1, Workload: wl4})
+	wl5 := DefaultWorkload()
+	wl5.Mix = Mix{Lossy: 1}
+	wl5.Adversity.Loss = 1.5 // probability out of range
+	bad = append(bad, Config{Seed: 1, Shards: 1, Workload: wl5})
+	wl6 := DefaultWorkload()
+	wl6.Mix = Mix{Partition: 1}
+	wl6.Adversity.PartitionFor = wl6.TxTimeout + sim.Minute // heals after grading
+	bad = append(bad, Config{Seed: 1, Shards: 1, Workload: wl6})
+	wl7 := DefaultWorkload()
+	wl7.Mix = Mix{Lossy: 1}
+	wl7.Adversity.LossyFor = 0
+	bad = append(bad, Config{Seed: 1, Shards: 1, Workload: wl7})
 	for i, cfg := range bad {
 		if _, err := New(cfg); err == nil {
 			t.Fatalf("config %d accepted: %+v", i, cfg)

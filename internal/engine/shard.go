@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/graph"
+	"repro/internal/p2p"
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/swap"
@@ -62,9 +63,13 @@ type txState struct {
 	// deadline is the absolute grading deadline.
 	deadline sim.Time
 	// hook is the scenario's chain-watch (crash victims, decision
-	// racers), evaluated on every shard activity notification until it
-	// reports done.
+	// racers, partition triggers), evaluated on every shard activity
+	// notification until it reports done.
 	hook func() bool
+	// cleanup tears down this transaction's adversity (lossy/geo
+	// overlays) when it grades, so the world stops degrading once the
+	// hostile AC2T is done.
+	cleanup []func()
 }
 
 // shardExec executes one shard: an independent deterministic world
@@ -142,6 +147,12 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *C
 		e.res.BlocksExecuted += st.Executed
 		e.res.BlockExecHits += st.Hits
 		e.res.BlocksMined += net.BlocksMined()
+		// Adversity accounting: how hard the network fought back.
+		e.res.ForksObserved += net.TotalReorgs()
+		if d := net.MaxReorgDepth(); d > e.res.MaxReorgDepth {
+			e.res.MaxReorgDepth = d
+		}
+		e.res.MsgsDropped += net.MsgsDropped()
 	}
 	return e.res, nil
 }
@@ -426,6 +437,69 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 				return false
 			}
 		}
+	case ScenarioPartition:
+		// Split the transaction's decision chain the moment its
+		// decision window opens — one miner isolated against the rest —
+		// and heal PartitionFor later, before the grading deadline. The
+		// minority side keeps mining its own fork, so the heal forces a
+		// deep reorg and every re-announce/re-request/EnsureTx path
+		// runs in anger. AC3WN must stay atomic and settle (the paper's
+		// claim under exactly this hazard); AC3TW blocking and HTLC
+		// expiry loss surface in the by-scenario aggregates as data.
+		target := e.witness
+		if e.wl.Protocol != ProtoAC3WN {
+			target = e.chainOf(i, 0)
+		}
+		trigger := e.decisionTrigger(runner)
+		st.hook = func() bool {
+			if st.graded {
+				return true
+			}
+			if !trigger() {
+				return false
+			}
+			// The window starts at the decision trigger, not at tx
+			// start, so clamp it: the heal must land with enough room
+			// before the grading deadline for post-heal reconciliation
+			// — otherwise the tx is graded mid-split and "non-blocking
+			// under partition" was never actually under test. The
+			// isolated miner rotates by transaction index so repeated
+			// draws starve different replicas (and only sometimes the
+			// node-0 ground-truth view).
+			dur := e.wl.Adversity.PartitionFor
+			if maxDur := st.deadline - e.s.Now() - 2*sim.Minute; dur > maxDur {
+				dur = max(maxDur, 0)
+			}
+			e.w.Net(target).P2P.ScheduleIsolation(e.s.Now(), dur, i)
+			return true
+		}
+	case ScenarioLossy:
+		// Sustained gossip loss on every network the AC2T touches:
+		// blocks vanish in flight, so the orphan re-request
+		// (MsgGetBlock) and EnsureTx resubmission paths must carry the
+		// run. The overlay lifts when the transaction grades or after
+		// LossyFor, whichever comes first — Overlay.Remove is
+		// idempotent, so the timer and the grading cleanup can both
+		// fire.
+		loss := p2p.LatencyModel{Loss: e.wl.Adversity.Loss}
+		for _, id := range e.txChains(i) {
+			ov := e.w.Net(id).P2P.PushOverlay(loss)
+			st.cleanup = append(st.cleanup, ov.Remove)
+			e.s.After(e.wl.Adversity.LossyFor, ov.Remove)
+		}
+	case ScenarioGeo:
+		// Heterogeneous link classes: the first asset chain degrades to
+		// intercontinental gossip, the second to WAN, so the chains'
+		// confirmation depths advance at visibly different rates and
+		// every cross-chain wait races realistically skewed clocks.
+		classes := []p2p.LatencyModel{p2p.GeoLink(), p2p.WANLink()}
+		for k, id := range e.assetChainsOf(i) {
+			if k >= len(classes) {
+				break
+			}
+			ov := e.w.Net(id).P2P.PushOverlay(classes[k])
+			st.cleanup = append(st.cleanup, ov.Remove)
+		}
 	case ScenarioRace:
 		// A rogue participant races the honest decision. Exactly one
 		// decision can stick — buried at depth d on the witness chain
@@ -470,6 +544,10 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 	}
 	st.graded = true
 	st.hook = nil
+	for _, fn := range st.cleanup {
+		fn()
+	}
+	st.cleanup = nil
 	for k, idx := range e.activeIdx {
 		if idx == i {
 			e.activeIdx = append(e.activeIdx[:k], e.activeIdx[k+1:]...)
@@ -515,6 +593,49 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 		// waiting for the safety-net check to notice.
 		e.s.Stop()
 	}
+}
+
+// decisionTrigger returns the per-protocol predicate for "the decision
+// window is open": SCw exists on the witness chain (AC3WN), the AC2T
+// is registered at Trent (AC3TW), or the secret reveal was submitted
+// (HTLC). The partition scenario splits the decision chain at exactly
+// this point — the moment the paper's Section 1 hazard analysis says
+// network behavior decides the outcome.
+func (e *shardExec) decisionTrigger(runner core.Runner) func() bool {
+	switch r := runner.(type) {
+	case *core.Run:
+		return func() bool { return !r.SCwAddr().IsZero() }
+	case *core.TWRun:
+		return func() bool { return r.Registered() }
+	case *swap.Run:
+		return func() bool { return hasEvent(r.Events(), "redeem submitted") }
+	}
+	return func() bool { return true }
+}
+
+// assetChainsOf returns transaction i's distinct asset chains in edge
+// order.
+func (e *shardExec) assetChainsOf(i int) []chain.ID {
+	var out []chain.ID
+	seen := make(map[chain.ID]bool)
+	for j := 0; j < e.specs[i].size; j++ {
+		id := e.chainOf(i, j)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// txChains returns every network transaction i gossips on: its asset
+// chains, plus the witness chain when the protocol uses one.
+func (e *shardExec) txChains(i int) []chain.ID {
+	out := e.assetChainsOf(i)
+	if e.wl.Protocol == ProtoAC3WN {
+		out = append(out, e.witness)
+	}
+	return out
 }
 
 // hasEvent reports whether any timeline event label starts with

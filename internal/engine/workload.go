@@ -21,24 +21,72 @@ const (
 type Scenario string
 
 // The scenario mix: well-behaved commits, participant-declines
-// aborts, the paper's Section 1 crash-recovery hazard, and an
-// adversarial decision race (a rogue participant pushing
-// authorize_refund the moment SCw appears, trying to flip the
-// outcome).
+// aborts, the paper's Section 1 crash-recovery hazard, an adversarial
+// decision race (a rogue participant pushing authorize_refund the
+// moment SCw appears, trying to flip the outcome), and the network
+// adversity trio — a decision-window partition of the transaction's
+// decision chain, sustained gossip loss on every chain the AC2T
+// touches, and geo-skewed per-chain latency so confirmation depths
+// race realistically.
 const (
-	ScenarioCommit Scenario = "commit"
-	ScenarioAbort  Scenario = "abort"
-	ScenarioCrash  Scenario = "crash"
-	ScenarioRace   Scenario = "race"
+	ScenarioCommit    Scenario = "commit"
+	ScenarioAbort     Scenario = "abort"
+	ScenarioCrash     Scenario = "crash"
+	ScenarioRace      Scenario = "race"
+	ScenarioPartition Scenario = "partition"
+	ScenarioLossy     Scenario = "lossy"
+	ScenarioGeo       Scenario = "geo"
 )
 
 // Mix weighs the scenarios in a workload. Zero-weight scenarios never
 // occur; an all-zero Mix is rejected.
 type Mix struct {
-	Commit int `json:"commit"`
-	Abort  int `json:"abort"`
-	Crash  int `json:"crash"`
-	Race   int `json:"race"`
+	Commit    int `json:"commit"`
+	Abort     int `json:"abort"`
+	Crash     int `json:"crash"`
+	Race      int `json:"race"`
+	Partition int `json:"partition"`
+	Lossy     int `json:"lossy"`
+	Geo       int `json:"geo"`
+}
+
+// total sums the mix weights.
+func (m Mix) total() int {
+	return m.Commit + m.Abort + m.Crash + m.Race + m.Partition + m.Lossy + m.Geo
+}
+
+// Adversity configures the network-hostility scenarios. The knobs
+// only matter for transactions that draw partition/lossy/geo; the
+// draws themselves (and every loss decision they cause) come from the
+// per-shard forked RNGs, so enabling adversity keeps runs a pure
+// function of the master seed.
+type Adversity struct {
+	// Loss is the per-message gossip drop probability a lossy-scenario
+	// AC2T imposes on every network it touches while in flight. The
+	// orphan re-request and EnsureTx resubmission paths must carry the
+	// run.
+	Loss float64 `json:"loss"`
+	// LossyFor bounds a lossy window: the overlay lifts when the
+	// transaction grades or LossyFor elapses, whichever comes first —
+	// a struggling lossy AC2T must not keep degrading the shared
+	// chains all the way to its grading deadline.
+	LossyFor sim.Time `json:"lossy_for_ms"`
+	// PartitionFor is how long a partition-scenario split lasts: the
+	// transaction's decision chain is divided (one miner against the
+	// rest) when its decision window opens and healed PartitionFor
+	// later. The shard clamps the window so the heal always lands
+	// with room to reconcile before the grading deadline — AC3WN's
+	// non-blocking claim is what is actually under test, not
+	// grading-while-split.
+	PartitionFor sim.Time `json:"partition_for_ms"`
+}
+
+// DefaultAdversity returns the standard hostile-network knobs: 25%
+// gossip loss sustained for up to 10 minutes, and a 6-minute
+// partition window (both well inside the default 45-minute grading
+// deadline).
+func DefaultAdversity() Adversity {
+	return Adversity{Loss: 0.25, LossyFor: 10 * sim.Minute, PartitionFor: 6 * sim.Minute}
 }
 
 // SizeWeight weighs one AC2T graph size (ring participant count) in
@@ -72,6 +120,8 @@ type Workload struct {
 	Sizes []SizeWeight `json:"sizes"`
 	// Mix weighs the scenarios.
 	Mix Mix `json:"mix"`
+	// Adversity configures the partition/lossy/geo scenarios.
+	Adversity Adversity `json:"adversity"`
 }
 
 // DefaultWorkload returns a mixed AC3WN workload: mostly commits,
@@ -87,6 +137,7 @@ func DefaultWorkload() Workload {
 		AssetChains:  2,
 		Sizes:        []SizeWeight{{Size: 2, Weight: 6}, {Size: 3, Weight: 3}, {Size: 4, Weight: 1}},
 		Mix:          Mix{Commit: 7, Abort: 2, Crash: 1, Race: 1},
+		Adversity:    DefaultAdversity(),
 	}
 }
 
@@ -125,11 +176,33 @@ func (wl *Workload) validate() error {
 	if total == 0 {
 		return fmt.Errorf("engine: all size weights zero")
 	}
-	if wl.Mix.Commit < 0 || wl.Mix.Abort < 0 || wl.Mix.Crash < 0 || wl.Mix.Race < 0 {
+	m := wl.Mix
+	if m.Commit < 0 || m.Abort < 0 || m.Crash < 0 || m.Race < 0 ||
+		m.Partition < 0 || m.Lossy < 0 || m.Geo < 0 {
 		return fmt.Errorf("engine: negative mix weight")
 	}
-	if wl.Mix.Commit+wl.Mix.Abort+wl.Mix.Crash+wl.Mix.Race == 0 {
+	if m.total() == 0 {
 		return fmt.Errorf("engine: all mix weights zero")
+	}
+	if m.Lossy > 0 {
+		if wl.Adversity.Loss <= 0 || wl.Adversity.Loss >= 1 {
+			return fmt.Errorf("engine: lossy scenario needs Adversity.Loss in (0,1), got %g", wl.Adversity.Loss)
+		}
+		if wl.Adversity.LossyFor <= 0 {
+			return fmt.Errorf("engine: lossy scenario needs Adversity.LossyFor > 0")
+		}
+	}
+	if m.Partition > 0 {
+		if wl.Adversity.PartitionFor <= 0 {
+			return fmt.Errorf("engine: partition scenario needs Adversity.PartitionFor > 0")
+		}
+		// Sanity bound; the shard additionally clamps each window at
+		// trigger time so the heal lands before that transaction's own
+		// grading deadline.
+		if wl.Adversity.PartitionFor >= wl.TxTimeout {
+			return fmt.Errorf("engine: partition window %dms cannot cover the whole %dms grading deadline",
+				wl.Adversity.PartitionFor, wl.TxTimeout)
+		}
 	}
 	return nil
 }
@@ -161,7 +234,7 @@ func (wl *Workload) drawSize(rng *sim.RNG) int {
 // downgraded draws are counted in the aggregates.
 func (wl *Workload) drawScenario(rng *sim.RNG) (sc Scenario, downgraded bool) {
 	m := wl.Mix
-	n := rng.Intn(m.Commit + m.Abort + m.Crash + m.Race)
+	n := rng.Intn(m.total())
 	switch {
 	case n < m.Commit:
 		sc = ScenarioCommit
@@ -169,8 +242,14 @@ func (wl *Workload) drawScenario(rng *sim.RNG) (sc Scenario, downgraded bool) {
 		sc = ScenarioAbort
 	case n < m.Commit+m.Abort+m.Crash:
 		sc = ScenarioCrash
-	default:
+	case n < m.Commit+m.Abort+m.Crash+m.Race:
 		sc = ScenarioRace
+	case n < m.Commit+m.Abort+m.Crash+m.Race+m.Partition:
+		sc = ScenarioPartition
+	case n < m.Commit+m.Abort+m.Crash+m.Race+m.Partition+m.Lossy:
+		sc = ScenarioLossy
+	default:
+		sc = ScenarioGeo
 	}
 	if wl.Protocol == ProtoHTLC && sc == ScenarioRace {
 		return ScenarioCommit, true

@@ -1,6 +1,7 @@
 package miner
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/chain"
@@ -8,6 +9,27 @@ import (
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
+
+// Watch-registration errors. A halted (crashed) client cannot arm
+// watches: silently accepting them used to drop the condition on the
+// floor, leaving callers waiting on a callback that could never fire.
+// Callers now learn at registration time and re-arm after Restart —
+// exactly what a recovering protocol participant does anyway.
+var (
+	ErrHalted = errors.New("miner: client is halted")
+	ErrClosed = errors.New("miner: client is closed")
+)
+
+// watchErr reports why a watch cannot be armed right now, or nil.
+func (c *Client) watchErr() error {
+	switch {
+	case c.closed:
+		return ErrClosed
+	case c.halted:
+		return ErrHalted
+	}
+	return nil
+}
 
 // Client is the application-layer client library of Section 2.1: an
 // end-user identity attached to one mining node for reads, that
@@ -111,8 +133,10 @@ func (c *Client) ChainID() chain.ID { return c.net.Params.ID }
 
 // Halt models an end-user site crash: pending watches and their
 // fallback timers stop firing and no further submissions happen until
-// Restart. Watches registered while halted are dropped silently — a
-// recovering participant re-arms its protocol from on-chain state.
+// Restart. Watch registration while halted fails with ErrHalted — a
+// recovering participant re-arms its protocol from on-chain state
+// after Restart, and the explicit error keeps a caller from waiting
+// forever on a watch that was never armed.
 func (c *Client) Halt() {
 	c.halted = true
 	if c.waiter != nil {
@@ -227,27 +251,43 @@ func (c *Client) onTip() {
 // OnTipChange registers a persistent subscription: fn runs after every
 // canonical-tip change of the client's node until the subscription is
 // canceled or the client halts. This is what protocol reconcilers
-// drive on instead of a cadence poller. Registered while halted or
-// closed, the subscription is inert (Cancel stays safe).
-func (c *Client) OnTipChange(fn func()) *Sub {
-	if c.halted || c.closed {
-		return &Sub{}
+// drive on instead of a cadence poller. Registration on a halted or
+// closed client fails with ErrHalted/ErrClosed — the returned Sub is
+// inert but safe to Cancel, so recovery code may still hold it.
+func (c *Client) OnTipChange(fn func()) (*Sub, error) {
+	if err := c.watchErr(); err != nil {
+		return &Sub{}, err
 	}
 	w := &watch{check: func() bool { fn(); return false }}
 	c.addWatch(w)
-	return &Sub{w: w}
+	return &Sub{w: w}, nil
 }
 
-// Submit multicasts a signed transaction to every live mining node,
+// Submit multicasts a signed transaction to the mining nodes,
 // modeling the paper's end-user-to-storage-layer message passing. The
-// multicast is one scheduled event delivering to all nodes.
+// multicast is one scheduled event delivering to all reachable nodes:
+// it rides the same connectivity model as block gossip, so a miner
+// that is crashed — or on the far side of a partition from the
+// client's attached node — does not hear end-users either. (It used
+// to reach every live mempool regardless of partitions, which
+// silently neutered partition scenarios: a split network still saw
+// every transaction everywhere.) The resubmit fallback re-multicasts
+// after heal, so a transaction submitted into a minority partition
+// still commits eventually.
+//
+// Deliberately NOT modeled: the miner overlay's loss and latency
+// overlays. Client-to-miner submission is a reliable RPC with its own
+// small delay (submitDelay), distinct from the gossip fabric —
+// adversity degrades how miners replicate state, not whether a user's
+// wallet call reaches its gateway. Suppressed submissions therefore
+// also do not count toward p2p's Dropped.
 func (c *Client) Submit(tx *chain.Tx) {
 	if c.halted || tx == nil {
 		return
 	}
 	c.sim.After(c.submitDelay(), func() {
 		for _, n := range c.net.Nodes {
-			if n.Alive() {
+			if n.Alive() && c.net.P2P.Reachable(c.node.ID, n.ID) {
 				n.SubmitLocal(tx)
 			}
 		}
@@ -365,11 +405,13 @@ func (c *Client) Call(contract crypto.Address, fn string, args []byte, value vm.
 // lands on the canonical chain again. A slow fallback timer
 // re-multicasts the transaction whenever it is absent from the
 // canonical chain for a whole ResubmitEvery, covering mempool wipes
-// and fork losses even while no blocks arrive. The watch dies silently
-// if the client is halted (crash).
-func (c *Client) WhenTxAtDepth(tx *chain.Tx, depth int, fn func(blockHash crypto.Hash)) {
-	if c.halted || c.closed {
-		return
+// and fork losses even while no blocks arrive. Registration on a
+// halted or closed client fails with ErrHalted/ErrClosed instead of
+// silently never firing; a watch armed before a crash still dies with
+// the crash (Halt cancels it), as the crash model requires.
+func (c *Client) WhenTxAtDepth(tx *chain.Tx, depth int, fn func(blockHash crypto.Hash)) error {
+	if err := c.watchErr(); err != nil {
+		return err
 	}
 	id := tx.ID()
 	w := &watch{}
@@ -404,16 +446,18 @@ func (c *Client) WhenTxAtDepth(tx *chain.Tx, depth int, fn func(blockHash crypto
 		return false
 	})
 	c.addWatch(w)
+	return nil
 }
 
 // WhenContract invokes fn once pred holds for the contract's state at
 // the given confirmation depth (depth 0 reads the tip). The predicate
 // sees a read-only contract snapshot and is evaluated only when the
 // node's canonical chain changes — contract state at any depth cannot
-// change otherwise.
-func (c *Client) WhenContract(addr crypto.Address, depth int, pred func(vm.Contract) bool, fn func()) {
-	if c.halted || c.closed {
-		return
+// change otherwise. Registration on a halted or closed client fails
+// with ErrHalted/ErrClosed.
+func (c *Client) WhenContract(addr crypto.Address, depth int, pred func(vm.Contract) bool, fn func()) error {
+	if err := c.watchErr(); err != nil {
+		return err
 	}
 	cond := func() bool {
 		ct, ok := c.Chain().ContractAtDepth(addr, depth)
@@ -427,6 +471,7 @@ func (c *Client) WhenContract(addr crypto.Address, depth int, pred func(vm.Contr
 		return true
 	}}
 	c.addWatch(w)
+	return nil
 }
 
 // ContractNow reads a contract's current state at the given depth.

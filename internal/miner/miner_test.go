@@ -94,7 +94,9 @@ func TestTransferThroughClient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alice.WhenTxAtDepth(tx, 3, func(crypto.Hash) { confirmedAt = s.Now() })
+	if err := alice.WhenTxAtDepth(tx, 3, func(crypto.Hash) { confirmedAt = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
 	s.RunUntil(20 * sim.Minute)
 
 	if confirmedAt == 0 {
@@ -189,7 +191,9 @@ func TestClientResubmitsDroppedTx(t *testing.T) {
 		t.Fatal(err)
 	}
 	confirmed := false
-	alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { confirmed = true })
+	if err := alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { confirmed = true }); err != nil {
+		t.Fatal(err)
+	}
 
 	s.RunUntil(1 * sim.Minute) // tx reaches mempool; no mining yet
 	net.Node(0).Crash()        // mempool wiped
@@ -214,7 +218,9 @@ func TestHaltedClientStopsWatching(t *testing.T) {
 
 	tx, _ := alice.Transfer(bob.Addr, 100)
 	fired := false
-	alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true })
+	if err := alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
 	alice.Halt()
 	s.RunUntil(30 * sim.Minute)
 	if fired {
@@ -257,12 +263,15 @@ func TestDeployAndCallThroughClient(t *testing.T) {
 		t.Fatal(err)
 	}
 	deployed := false
-	alice.WhenContract(addr, 2, func(c vm.Contract) bool { return c != nil }, func() {
+	err = alice.WhenContract(addr, 2, func(c vm.Contract) bool { return c != nil }, func() {
 		deployed = true
 		if _, err := alice.Call(addr, "set", []byte{42}, 0); err != nil {
 			t.Errorf("call: %v", err)
 		}
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.RunUntil(30 * sim.Minute)
 	if !deployed {
 		t.Fatal("contract never observed at depth 2")

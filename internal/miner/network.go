@@ -116,3 +116,21 @@ func (n *Network) TotalReorgs() int {
 	}
 	return total
 }
+
+// MaxReorgDepth returns the deepest reorg any node's view performed —
+// the canonical-suffix length a partition heal or fork race rolled
+// back on some replica.
+func (n *Network) MaxReorgDepth() int {
+	deepest := 0
+	for _, node := range n.Nodes {
+		if d := node.Chain.MaxReorgDepth; d > deepest {
+			deepest = d
+		}
+	}
+	return deepest
+}
+
+// MsgsDropped reports gossip messages this network's p2p layer
+// accepted at send time but never delivered — lost to the loss model,
+// a partition, or a crashed endpoint.
+func (n *Network) MsgsDropped() uint64 { return n.P2P.Dropped }

@@ -42,7 +42,9 @@ func TestReorgReannouncesTxAndWatchRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	var confirmedAt sim.Time
-	alice.WhenTxAtDepth(tx, 2, func(crypto.Hash) { confirmedAt = s.Now() })
+	if err := alice.WhenTxAtDepth(tx, 2, func(crypto.Hash) { confirmedAt = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
 
 	s.RunUntil(5 * sim.Second) // multicast lands in the mempool
 	if node.MempoolSize() != 1 {
@@ -116,19 +118,27 @@ func TestClosedClientDropsAndRefusesWatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	fired := false
-	alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true })
+	if err := alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
 
 	alice.Close()
 	// The prior bug class: watches (and their fallback pollers)
 	// registered after a Close must be dead on arrival, even across a
 	// Restart attempt.
-	alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true })
+	if err := alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true }); err != ErrClosed {
+		t.Fatalf("watch on closed client: err = %v, want ErrClosed", err)
+	}
 	alice.Restart()
 	if !alice.Halted() || !alice.Closed() {
 		t.Fatal("Restart revived a closed client")
 	}
-	alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true })
-	alice.WhenContract(crypto.Address{1}, 0, func(c vm.Contract) bool { return true }, func() { fired = true })
+	if err := alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true }); err != ErrClosed {
+		t.Fatalf("watch after failed Restart: err = %v, want ErrClosed", err)
+	}
+	if err := alice.WhenContract(crypto.Address{1}, 0, func(c vm.Contract) bool { return true }, func() { fired = true }); err != ErrClosed {
+		t.Fatalf("contract watch on closed client: err = %v, want ErrClosed", err)
+	}
 	alice.Close() // idempotent
 
 	s.RunUntil(30 * sim.Minute)
@@ -154,7 +164,9 @@ func TestHaltCancelsWatchesRegisteredAfterRestart(t *testing.T) {
 	alice.Halt()
 	alice.Restart()
 	fired := false
-	alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true })
+	if err := alice.WhenTxAtDepth(tx, 1, func(crypto.Hash) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
 	alice.Halt() // must cancel the watch registered after the prior Halt
 	s.RunUntil(30 * sim.Minute)
 	if fired {
@@ -173,7 +185,10 @@ func TestSubscriptionSurvivesUntilCanceled(t *testing.T) {
 	alice := NewClient(net, 0, crypto.MustGenerateKey(crypto.NewRandReader(s.RNG().Fork().Uint64)))
 
 	fires := 0
-	sub := alice.OnTipChange(func() { fires++ })
+	sub, err := alice.OnTipChange(func() { fires++ })
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.RunUntil(2 * sim.Minute)
 	if fires == 0 {
 		t.Fatal("subscription never fired while blocks were mined")

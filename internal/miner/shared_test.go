@@ -151,7 +151,9 @@ func TestWatchFiresWhenAlreadySatisfied(t *testing.T) {
 	}
 
 	fired := false
-	alice.WhenTxAtDepth(tx, 3, func(crypto.Hash) { fired = true })
+	if err := alice.WhenTxAtDepth(tx, 3, func(crypto.Hash) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
 	s.RunUntil(s.Now() + sim.Minute) // no tip changes happen here
 	if !fired {
 		t.Fatal("already-satisfied watch never fired on a quiescent chain")

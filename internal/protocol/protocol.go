@@ -196,15 +196,30 @@ func (rt *Runtime) DriveAll() {
 // subscribe points p's reconciler at the notification bus: every
 // chain in the subscription set re-drives p when its canonical tip
 // changes. Existing subscriptions are canceled first, so subscribe is
-// safe to call again on Resume.
+// safe to call again on Resume. A participant that is down subscribes
+// to nothing — its clients refuse watch registration while halted
+// (miner.ErrHalted), and Resume re-arms after recovery. This used to
+// lean on the clients silently swallowing registrations from crashed
+// participants; now the runtime skips them explicitly.
 func (rt *Runtime) subscribe(p *xchain.Participant) {
 	st := rt.states[p]
 	for _, sub := range st.subs {
 		sub.Cancel()
 	}
 	st.subs = st.subs[:0]
+	if p.Crashed() {
+		return
+	}
 	for _, id := range rt.chains {
-		st.subs = append(st.subs, p.Client(id).OnTipChange(func() { rt.Drive(p) }))
+		sub, err := p.Client(id).OnTipChange(func() { rt.Drive(p) })
+		if err != nil {
+			// A client halted independently of the participant (cannot
+			// happen through the Participant crash API, which halts all
+			// clients and flags the participant): drop this chain's
+			// subscription; the others still drive p.
+			continue
+		}
+		st.subs = append(st.subs, sub)
 	}
 }
 

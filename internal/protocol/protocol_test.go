@@ -83,6 +83,47 @@ func TestRuntimeCrashResumeLifecycle(t *testing.T) {
 	}
 }
 
+// TestRuntimeStartWithCrashedParticipant is the audit regression for
+// the miner.Client halt fix: a participant already down at Start (the
+// decline-abort scenario) gets no subscriptions — previously the
+// clients silently swallowed the registrations; now the runtime skips
+// them — and a later Recover+Resume arms real ones.
+func TestRuntimeStartWithCrashedParticipant(t *testing.T) {
+	w, alice, bob := world(t, 6)
+	drives := 0
+	rt, err := New(Config{
+		World:        w,
+		Participants: []*xchain.Participant{alice, bob},
+		Chains:       []chain.ID{"c0"},
+		Drive: func(p *xchain.Participant) {
+			if p == bob {
+				drives++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob.Crash() // declines before the run begins
+	rt.Start()
+	if n := len(rt.states[bob].subs); n != 0 {
+		t.Fatalf("crashed participant holds %d subscriptions after Start", n)
+	}
+	w.RunFor(2 * sim.Minute)
+	if drives != 0 {
+		t.Fatalf("crashed participant driven %d times", drives)
+	}
+	bob.Recover()
+	rt.Resume(bob)
+	if n := len(rt.states[bob].subs); n == 0 {
+		t.Fatal("Resume armed no subscriptions for the recovered participant")
+	}
+	w.RunFor(2 * sim.Minute)
+	if drives == 0 {
+		t.Fatal("recovered participant never driven")
+	}
+}
+
 func TestRuntimeStopRetiresEverything(t *testing.T) {
 	w, alice, bob := world(t, 3)
 	drives := 0

@@ -4,7 +4,44 @@ import (
 	"fmt"
 
 	"repro/internal/chain"
+	"repro/internal/crypto"
 )
+
+// Follower couples a LightNode to a full chain view's tip-change feed
+// and — unlike the raw subscription it replaces — makes ingest
+// failures observable. A header the light node cannot verify used to
+// be swallowed inside the callback, leaving the follower silently
+// stale forever; now every failure bumps Desyncs, is retained in
+// LastErr, and is handed to the OnError hook, so an operator (or a
+// test) can notice the desync and resync or rebuild the follower.
+type Follower struct {
+	*LightNode
+
+	// Desyncs counts headers the follower failed to ingest from the
+	// view's notification feed. A nonzero count means the follower's
+	// canonical index is behind the view it tracks.
+	Desyncs int
+	// LastErr is the most recent ingest failure (nil while in sync).
+	LastErr error
+
+	onErr func(error)
+}
+
+// OnError installs a hook invoked on every header-ingest failure.
+func (f *Follower) OnError(fn func(error)) { f.onErr = fn }
+
+// Synced reports whether the follower has ingested every header its
+// view announced.
+func (f *Follower) Synced() bool { return f.Desyncs == 0 }
+
+// fail records one ingest failure.
+func (f *Follower) fail(err error) {
+	f.Desyncs++
+	f.LastErr = err
+	if f.onErr != nil {
+		f.onErr(err)
+	}
+}
 
 // Follow attaches a light node to a full chain view through the
 // chain's tip-change notification feed: the light node ingests the
@@ -16,25 +53,48 @@ import (
 // costs the follower nothing. A view is cheap to follow by design:
 // block bodies and states live in the network's shared chain.Executor,
 // so following any replica observes the same (once-executed) blocks.
-func Follow(view *chain.Chain) (*LightNode, error) {
-	ln := NewLightNode(view.Genesis().Header)
-	hdrs, ok := view.HeadersFrom(view.Genesis().Hash())
+func Follow(view *chain.Chain) (*Follower, error) {
+	return FollowFrom(view, view.Genesis().Hash())
+}
+
+// FollowFrom attaches a light node anchored at a canonical checkpoint
+// instead of genesis: the follower trusts the checkpoint header,
+// ingests only the canonical headers above it, and then tracks the
+// feed like Follow. This is the storage-frugal follower a validator
+// with a recent stable block runs — with one sharp edge the error
+// surfacing exists for: a reorg deeper than the checkpoint connects
+// headers below the follower's anchor, which cannot verify
+// (ErrUnknownHeader) and desyncs the follower. The failure is counted
+// and hooked, never swallowed.
+func FollowFrom(view *chain.Chain, checkpoint crypto.Hash) (*Follower, error) {
+	anchor, ok := view.Block(checkpoint)
+	if !ok || !view.IsCanonical(checkpoint) {
+		return nil, fmt.Errorf("spv: checkpoint %s is not canonical on the view", checkpoint)
+	}
+	f := &Follower{LightNode: NewLightNode(anchor.Header)}
+	hdrs, ok := view.HeadersFrom(checkpoint)
 	if !ok {
-		return nil, fmt.Errorf("spv: view has no canonical history")
+		return nil, fmt.Errorf("spv: view has no canonical history above %s", checkpoint)
 	}
 	for _, h := range hdrs {
-		if err := ln.AddHeader(h); err != nil {
+		if err := f.AddHeader(h); err != nil {
 			return nil, fmt.Errorf("spv: seeding follower: %w", err)
 		}
 	}
 	view.OnTipChange(func(ev chain.TipEvent) {
 		for _, b := range ev.Connected {
-			// Connected branches arrive oldest-first and root at an
-			// already-known canonical block, so parents always
-			// resolve; AddHeader re-verifies the proof of work and
-			// handles the longest-chain switch itself.
-			_ = ln.AddHeader(b.Header)
+			// Connected branches arrive oldest-first and root at a block
+			// that was canonical on the view — which the follower knows
+			// unless the reorg reaches below its anchor. AddHeader
+			// re-verifies the proof of work and handles the
+			// longest-chain switch itself; a failure is surfaced (not
+			// swallowed) and the rest of the branch is skipped, since
+			// its parents cannot connect either.
+			if err := f.AddHeader(b.Header); err != nil {
+				f.fail(fmt.Errorf("spv: follower desync at height %d: %w", b.Header.Height, err))
+				return
+			}
 		}
 	})
-	return ln, nil
+	return f, nil
 }

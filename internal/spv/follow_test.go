@@ -1,9 +1,11 @@
 package spv
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/chain"
+	"repro/internal/crypto"
 )
 
 func TestFollowTracksChainGrowth(t *testing.T) {
@@ -65,6 +67,74 @@ func TestFollowTracksReorg(t *testing.T) {
 	b, _, found := f.view.FindTx(f.tx.ID())
 	if found {
 		t.Fatalf("tx unexpectedly canonical after reorg (block %s)", b.Hash())
+	}
+}
+
+// TestFollowSurfacesDesync is the regression test for the swallowed
+// AddHeader error: a follower anchored at a recent checkpoint that
+// sees a reorg reaching below its anchor cannot connect the adopted
+// branch — that failure used to vanish inside the tip-change callback,
+// leaving the follower silently stale forever. It must now be counted,
+// retained, and delivered to the error hook.
+func TestFollowSurfacesDesync(t *testing.T) {
+	f := newFixture(t, 3) // canonical: genesis <- b1(tx) <- b2 <- b3 <- b4
+	cp, ok := f.view.CanonicalAt(2)
+	if !ok {
+		t.Fatal("no canonical block at height 2")
+	}
+	fl, err := FollowFrom(f.view, cp.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Tip().Hash() != f.view.Tip().Header.Hash() {
+		t.Fatal("checkpoint follower not seeded to the view's tip")
+	}
+	var hooked []error
+	fl.OnError(func(e error) { hooked = append(hooked, e) })
+
+	// A longer branch forking at genesis — deeper than the follower's
+	// anchor at height 2.
+	alt, err := chain.NewChain(f.view.Params(), nil, chain.GenesisAlloc{f.key.Addr: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		b, _, _ := alt.BuildBlock(f.key.Addr, forkTime(i), nil)
+		b.Header.Seal(f.rng.Uint64())
+		if _, err := alt.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.view.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.view.Reorgs != 1 {
+		t.Fatalf("view Reorgs = %d, want 1", f.view.Reorgs)
+	}
+	if f.view.MaxReorgDepth < 4 {
+		t.Fatalf("view MaxReorgDepth = %d, want >= 4", f.view.MaxReorgDepth)
+	}
+	if fl.Synced() || fl.Desyncs == 0 {
+		t.Fatal("deep reorg below the anchor did not surface as a desync")
+	}
+	if fl.LastErr == nil || !errors.Is(fl.LastErr, ErrUnknownHeader) {
+		t.Fatalf("LastErr = %v, want ErrUnknownHeader", fl.LastErr)
+	}
+	if len(hooked) == 0 {
+		t.Fatal("error hook never invoked")
+	}
+	// The stale follower keeps its old tip — visible, not pretending.
+	if fl.Tip().Hash() == f.view.Tip().Header.Hash() {
+		t.Fatal("desynced follower claims the view's tip")
+	}
+}
+
+// TestFollowFromRejectsNonCanonicalCheckpoint pins the anchor
+// validation.
+func TestFollowFromRejectsNonCanonicalCheckpoint(t *testing.T) {
+	f := newFixture(t, 1)
+	if _, err := FollowFrom(f.view, crypto.Hash{0xde, 0xad}); err == nil {
+		t.Fatal("FollowFrom accepted an unknown checkpoint")
 	}
 }
 

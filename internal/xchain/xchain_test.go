@@ -158,12 +158,15 @@ func TestCountContractOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := false
-	client.WhenTxAtDepth(tx, 2, func(h crypto.Hash) {
+	err = client.WhenTxAtDepth(tx, 2, func(h crypto.Hash) {
 		if _, err := client.Call(addr, contracts.FnRedeem, []byte("s"), 0); err != nil {
 			t.Errorf("redeem: %v", err)
 		}
 		done = true
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	w.RunUntil(30 * sim.Minute)
 	if !done {
 		t.Fatal("deploy never confirmed")
