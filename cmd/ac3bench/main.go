@@ -5,9 +5,15 @@
 // Usage:
 //
 //	ac3bench [-seed N] [-experiment id] [-diam N] [-runs N]
+//	         [-snapshot file] [-snapshotlabel name]
 //
 // Experiment ids: fig8, fig9, fig10, cost, witness, table1,
 // atomicity, complex, scale, engine, all (default).
+//
+// -snapshot writes a machine-readable BENCH_<pr>.json perf snapshot
+// (the engine shard sweep's wall time, events/AC2T, blocks-exec/AC2T,
+// outcome counts and per-phase latency table) instead of running the
+// table experiments — the ROADMAP's diffable perf trajectory.
 package main
 
 import (
@@ -23,7 +29,32 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run: fig8|fig9|fig10|cost|witness|table1|atomicity|complex|scale|engine|all")
 	maxDiam := flag.Int("diam", 8, "maximum graph diameter for the fig10 sweep")
 	runs := flag.Int("runs", 5, "runs per scenario for the atomicity experiment")
+	snapshot := flag.String("snapshot", "", "write a machine-readable engine perf snapshot (JSON) to this file and exit")
+	snapshotLabel := flag.String("snapshotlabel", "", "label stored in the -snapshot file (e.g. pr6)")
 	flag.Parse()
+
+	if *snapshot != "" {
+		snap, err := bench.Snapshot(*seed, *snapshotLabel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bench.WriteSnapshot(f, snap); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot -> %s\n", *snapshot)
+		return
+	}
 
 	var results []*bench.Result
 	switch *experiment {

@@ -10,7 +10,17 @@
 //	          [-mix commit,abort,crash,race[,partition,lossy,geo]]
 //	          [-loss P] [-partitionfor min]
 //	          [-sizes 2:6,3:3,4:1] [-progress] [-strict] [-execbudget N]
+//	          [-trace file] [-tracechrome file] [-tracecap N]
 //	          [-cpuprofile file] [-memprofile file]
+//
+// -trace writes the run's deterministic trace as NDJSON (one record
+// per line, virtual timestamps + per-shard sequence numbers, byte-
+// identical across worker counts); -tracechrome writes Chrome
+// trace_event JSON loadable in chrome://tracing or https://ui.perfetto.dev
+// (one process per shard, one track per transaction and per chain).
+// Either flag enables recording; -tracecap bounds the per-shard ring
+// buffer (0 = default 65536 records; older records evict first, so
+// memory stays flat at any -txs).
 //
 // The -mix flag takes four weights (the classic scenario matrix) or
 // seven, adding the network-adversity scenarios: partition splits the
@@ -33,6 +43,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strconv"
@@ -41,6 +52,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -60,6 +72,9 @@ func main() {
 	progress := flag.Bool("progress", false, "report live progress to stderr")
 	strict := flag.Bool("strict", false, "exit non-zero unless every transaction settled (graded, none stuck) with zero atomicity violations")
 	execBudget := flag.Float64("execbudget", 0, "max blocks executed per settled AC2T (0 = unchecked); guards the shared-executor N-times-to-once win")
+	traceOut := flag.String("trace", "", "write the deterministic trace as NDJSON to this file")
+	traceChrome := flag.String("tracechrome", "", "write the trace as Chrome trace_event JSON (Perfetto-loadable) to this file")
+	traceCap := flag.Int("tracecap", 0, "per-shard trace ring capacity (0 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
@@ -95,10 +110,12 @@ func main() {
 	}
 
 	eng, err := engine.New(engine.Config{
-		Seed:     *seed,
-		Shards:   *shards,
-		Workers:  *workers,
-		Workload: wl,
+		Seed:         *seed,
+		Shards:       *shards,
+		Workers:      *workers,
+		Workload:     wl,
+		Trace:        *traceOut != "" || *traceChrome != "",
+		TraceRingCap: *traceCap,
 	})
 	if err != nil {
 		fatal(err)
@@ -147,6 +164,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(string(out))
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, agg, trace.WriteNDJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d records (%d evicted) -> %s\n",
+			len(agg.Trace.Records), agg.Trace.Dropped, *traceOut)
+	}
+	if *traceChrome != "" {
+		if err := writeTrace(*traceChrome, agg, trace.WriteChrome); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace -> %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceChrome)
+	}
 	fmt.Fprintf(os.Stderr, "wall: %s (%.1f tx/s real time), virtual makespan: %s, %.1f sim events/tx\n",
 		wall.Round(time.Millisecond),
 		float64(agg.Graded)/wall.Seconds(),
@@ -212,6 +242,19 @@ func parseSizes(s string) ([]engine.SizeWeight, error) {
 		out = append(out, engine.SizeWeight{Size: sz, Weight: wt})
 	}
 	return out, nil
+}
+
+// writeTrace exports the run's trace through the given writer.
+func writeTrace(path string, agg *engine.Aggregate, write func(io.Writer, *trace.Trace) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, agg.Trace); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// EngineSnapshot is the machine-readable perf snapshot the ROADMAP's
+// diffable trajectory is built from: one BENCH_<pr>.json per PR,
+// produced by `ac3bench -snapshot`, diffed across PRs instead of
+// burying the numbers in prose. Virtual-time fields are deterministic
+// per seed; wall-clock fields measure the machine that produced the
+// snapshot and are expected to drift.
+type EngineSnapshot struct {
+	Label string        `json:"label"`
+	Seed  uint64        `json:"seed"`
+	Rows  []SnapshotRow `json:"rows"`
+}
+
+// SnapshotRow is one engine configuration's measured outcome.
+type SnapshotRow struct {
+	Shards int `json:"shards"`
+	Txs    int `json:"txs"`
+	// WallMs is real elapsed time for the run on the snapshotting
+	// machine (not deterministic; tracked for trajectory, not truth).
+	WallMs int64 `json:"wall_ms"`
+
+	Commits    int `json:"commits"`
+	Aborts     int `json:"aborts"`
+	Stuck      int `json:"stuck"`
+	Violations int `json:"atomicity_violations"`
+
+	EventsPerTx          float64 `json:"sim_events_per_tx"`
+	BlocksExecutedPerTx  float64 `json:"blocks_executed_per_tx"`
+	ThroughputTPSVirtual float64 `json:"throughput_tps_virtual"`
+	MakespanVirtualMs    int64   `json:"makespan_virtual_ms"`
+
+	LatencyP50Ms  int64 `json:"latency_p50_ms"`
+	LatencyP99Ms  int64 `json:"latency_p99_ms"`
+	LatencyP999Ms int64 `json:"latency_p999_ms"`
+
+	// PhaseLatency is the engine's per-phase attribution table for
+	// this configuration — where the virtual time of an AC2T goes.
+	PhaseLatency []engine.PhaseLatencyRow `json:"phase_latency"`
+}
+
+// Snapshot runs the EngineLoad shard sweep (same workload, 1/2/4
+// shards) and returns the machine-readable snapshot.
+func Snapshot(seed uint64, label string) (*EngineSnapshot, error) {
+	const perShardTxs = 20
+	snap := &EngineSnapshot{Label: label, Seed: seed}
+	for _, shards := range []int{1, 2, 4} {
+		wl := engine.DefaultWorkload()
+		wl.Txs = perShardTxs * shards
+		wl.ArrivalEvery = 15 * sim.Second
+		wl.Mix = engine.Mix{Commit: 5, Abort: 2, Crash: 2, Race: 1}
+		e, err := engine.New(engine.Config{Seed: seed, Shards: shards, Workload: wl})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		agg, err := e.Run()
+		if err != nil {
+			return nil, err
+		}
+		snap.Rows = append(snap.Rows, SnapshotRow{
+			Shards:               shards,
+			Txs:                  agg.Txs,
+			WallMs:               time.Since(start).Milliseconds(),
+			Commits:              agg.Commits,
+			Aborts:               agg.Aborts,
+			Stuck:                agg.Stuck,
+			Violations:           agg.Violations,
+			EventsPerTx:          agg.SimEventsPerTx,
+			BlocksExecutedPerTx:  agg.BlocksExecutedPerTx,
+			ThroughputTPSVirtual: agg.ThroughputTPSVirtual,
+			MakespanVirtualMs:    agg.MakespanVirtualMs,
+			LatencyP50Ms:         agg.LatencyP50Ms,
+			LatencyP99Ms:         agg.LatencyP99Ms,
+			LatencyP999Ms:        agg.LatencyP999Ms,
+			PhaseLatency:         agg.PhaseLatency,
+		})
+	}
+	return snap, nil
+}
+
+// WriteSnapshot marshals the snapshot as indented JSON.
+func WriteSnapshot(w io.Writer, s *EngineSnapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -137,6 +137,9 @@ func (r *TWRun) Stop() { r.rt.Stop() }
 // Events returns the run's timeline.
 func (r *TWRun) Events() []Event { return r.rt.Timeline() }
 
+// Marks returns the run's phase boundaries (for trace span derivation).
+func (r *TWRun) Marks() []protocol.Mark { return r.rt.Marks() }
+
 // Registered reports whether ms(D) is on file at Trent.
 func (r *TWRun) Registered() bool { return r.registered }
 
@@ -151,6 +154,7 @@ func (r *TWRun) onMessage(p, from *xchain.Participant, msg any) {
 			r.addrs[m.EdgeIdx] = m.Addr
 		}
 		r.confirmed[m.EdgeIdx] = true
+		r.noteAllConfirmed()
 	case twRegistered:
 		// Shared run state already carries the flag; the re-drive the
 		// runtime issues after this handler is what matters.
@@ -184,6 +188,7 @@ func (r *TWRun) drive(p *xchain.Participant) {
 		r.addrs[i] = r.ownAddr[i]
 		r.confirmed[i] = true
 		r.rt.Event(i, "deploy confirmed")
+		r.noteAllConfirmed()
 		r.rt.Broadcast(p, twAnnounce{EdgeIdx: i, Addr: r.ownAddr[i]})
 	}
 	// Phase 3: the initiator asks Trent to witness — redeem once every
@@ -227,6 +232,7 @@ func (r *TWRun) register() {
 
 // requestRedeem asks Trent for the redemption signature.
 func (r *TWRun) requestRedeem() {
+	r.rt.Mark(protocol.PointDecisionTriggered)
 	r.rt.Event(-1, "redeem signature requested from Trent")
 	r.cfg.Trent.RequestRedeem(r.msID, r.addrs, r.cfg.ConfirmDepth, func(sig crypto.Signature, p crypto.Purpose, err error) {
 		if r.rt.Stopped() {
@@ -244,6 +250,7 @@ func (r *TWRun) requestRedeem() {
 
 // requestRefund asks Trent to witness the abort.
 func (r *TWRun) requestRefund() {
+	r.rt.Mark(protocol.PointDecisionTriggered)
 	r.cfg.Trent.RequestRefund(r.msID, func(sig crypto.Signature, p crypto.Purpose, err error) {
 		if r.rt.Stopped() || err != nil {
 			return
@@ -260,6 +267,7 @@ func (r *TWRun) onDecision(p crypto.Purpose, sig crypto.Signature) {
 	r.decision = p
 	r.decisionSig = sig
 	r.DecidedAt = r.w.Sim.Now()
+	r.rt.Mark(protocol.PointDecisionConfirmed)
 	r.rt.Event(-1, "Trent decided "+p.String())
 	r.rt.DriveAll()
 }
@@ -284,7 +292,16 @@ func (r *TWRun) deployOwnEdges(p *xchain.Participant) {
 		p.Deploys++
 		r.ownTx[i] = tx
 		r.ownAddr[i] = addr
+		r.rt.Mark(protocol.PointDeploySubmitted)
 		r.rt.Event(i, "deploy submitted")
+	}
+}
+
+// noteAllConfirmed marks the lock-phase boundary the first time every
+// edge contract is confirmed.
+func (r *TWRun) noteAllConfirmed() {
+	if r.allConfirmed() {
+		r.rt.Mark(protocol.PointDeployConfirmed)
 	}
 }
 

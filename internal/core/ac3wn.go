@@ -240,6 +240,9 @@ func (r *Run) Stop() { r.rt.Stop() }
 // Events returns the run's timeline.
 func (r *Run) Events() []Event { return r.rt.Timeline() }
 
+// Marks returns the run's phase boundaries (for trace span derivation).
+func (r *Run) Marks() []protocol.Mark { return r.rt.Marks() }
+
 // onMessage ingests off-chain announcements (the runtime re-drives
 // the recipient afterwards).
 func (r *Run) onMessage(p, from *xchain.Participant, msg any) {
@@ -391,6 +394,7 @@ func (r *Run) deploySCw(p *xchain.Participant) {
 	r.scwTx = tx
 	r.scwAddr = addr
 	r.checkpointHash = cpHashes
+	r.rt.Mark(protocol.PointDeploySubmitted)
 	r.rt.Event(-1, "SCw deploy submitted")
 	r.rt.Broadcast(p, announceSCw{Addr: addr, TxID: tx.ID(), Checkpoints: cpHashes})
 }
@@ -514,6 +518,7 @@ func (r *Run) noteConfirmed(i int, addr crypto.Address, txID crypto.Hash) {
 	r.confirmed[i] = true
 	if r.allConfirmed() && r.AllDeployedAt == 0 {
 		r.AllDeployedAt = r.w.Sim.Now()
+		r.rt.Mark(protocol.PointDeployConfirmed)
 		r.rt.Event(-1, "all asset contracts confirmed")
 	}
 }
@@ -567,6 +572,7 @@ func (r *Run) submitAuthorizeRedeem(p *xchain.Participant, st *pstate) {
 	}
 	p.Calls++
 	st.submittedRD = true
+	r.rt.Mark(protocol.PointDecisionTriggered)
 	r.rt.Event(-1, "authorize_redeem submitted by "+p.Name)
 }
 
@@ -583,6 +589,7 @@ func (r *Run) trySubmitRefund(p *xchain.Participant, st *pstate) {
 		if _, err := client.Call(r.scwAddr, contracts.FnAuthorizeRefund, nil, 0); err == nil {
 			p.Calls++
 			st.submittedRF = true
+			r.rt.Mark(protocol.PointDecisionTriggered)
 			r.rt.Event(-1, "authorize_refund submitted by "+p.Name)
 		}
 	})
@@ -601,6 +608,7 @@ func (r *Run) markDecision(outcome contracts.WitnessState) {
 	if r.DecidedAt == 0 {
 		r.DecidedAt = r.w.Sim.Now()
 		r.DecidedOutcome = outcome
+		r.rt.Mark(protocol.PointDecisionConfirmed)
 		r.rt.Event(-1, "decision "+outcome.String()+" stable at depth d")
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/contracts"
 	"repro/internal/crypto"
+	"repro/internal/protocol"
 	"repro/internal/xchain"
 )
 
@@ -30,6 +31,12 @@ type Runner interface {
 	Stop()
 	// Grade reads terminal contract states from ground-truth views.
 	Grade() *xchain.Outcome
+	// Events returns the run's timeline (a snapshot; safe to retain).
+	Events() []protocol.Event
+	// Marks returns the run's uniform phase boundaries — the
+	// cross-protocol instrumentation points internal/trace derives
+	// phase spans from.
+	Marks() []protocol.Mark
 }
 
 // Settled reports run quiescence for AC3WN: the commit/abort decision

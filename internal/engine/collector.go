@@ -15,6 +15,22 @@ var latencyBounds = []int64{
 	int64(64 * sim.Minute), int64(128 * sim.Minute),
 }
 
+// phaseBounds are the per-phase latency histogram bounds in virtual
+// milliseconds. Phases are shorter than end-to-end latencies (a
+// decision wait can be near-zero), so the scale starts at seconds.
+var phaseBounds = []int64{
+	int64(5 * sim.Second), int64(15 * sim.Second), int64(30 * sim.Second),
+	int64(1 * sim.Minute), int64(2 * sim.Minute), int64(4 * sim.Minute),
+	int64(8 * sim.Minute), int64(16 * sim.Minute), int64(32 * sim.Minute),
+	int64(64 * sim.Minute),
+}
+
+// phaseKey identifies one (phase, scenario) latency cell.
+type phaseKey struct {
+	phase    string
+	scenario Scenario
+}
+
 // Collector is the engine's shared result sink. Shard goroutines feed
 // it concurrently: live counters let a progress reporter watch a run
 // without locks, and the latency histogram (metrics.Hist, itself
@@ -128,6 +144,29 @@ type ShardResult struct {
 	// latencies in virtual ms, grading order; merged (and only then
 	// sorted) by the engine for aggregate percentiles.
 	latencies []int64
+	// phase holds the shard's per-(phase, scenario) latency histograms
+	// — always collected (fixed-size, integer-only), folded in shard
+	// order into the aggregate's phase table. Kept separate from the
+	// trace ring so eviction never skews the statistics.
+	phase map[phaseKey]*metrics.Hist
+}
+
+// observePhase folds one completed phase duration into the shard's
+// per-(phase, scenario) histogram.
+func (r *ShardResult) observePhase(phase string, sc Scenario, d sim.Time) {
+	if d < 0 {
+		return
+	}
+	if r.phase == nil {
+		r.phase = make(map[phaseKey]*metrics.Hist)
+	}
+	k := phaseKey{phase, sc}
+	h := r.phase[k]
+	if h == nil {
+		h = metrics.NewHist(phaseBounds...)
+		r.phase[k] = h
+	}
+	h.Observe(int64(d))
 }
 
 // record folds one graded transaction into the shard result.

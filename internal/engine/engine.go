@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config configures an engine run.
@@ -47,6 +48,16 @@ type Config struct {
 	Workers int
 	// Workload describes the transaction stream.
 	Workload Workload
+	// Trace enables the deterministic trace recorder: per-shard ring
+	// buffers collect span/event records (virtual time + sequence
+	// numbers, no wall clock) and the aggregate carries the merged
+	// trace for export. Off by default; the per-phase latency table is
+	// collected regardless (fixed-size histograms, negligible cost).
+	Trace bool
+	// TraceRingCap overrides the per-shard ring capacity (0 =
+	// trace.DefaultRingCap). Small caps bound memory on huge runs at
+	// the price of exporting only the most recent records per shard.
+	TraceRingCap int
 }
 
 // Engine partitions and executes a workload.
@@ -104,10 +115,21 @@ type Aggregate struct {
 	// LatencyMs is the virtual commit-latency histogram across all
 	// graded transactions.
 	LatencyMs metrics.HistSnapshot `json:"latency_ms"`
-	// Percentiles over all shard latencies, virtual ms.
-	LatencyP50Ms int64 `json:"latency_p50_ms"`
-	LatencyP95Ms int64 `json:"latency_p95_ms"`
-	LatencyP99Ms int64 `json:"latency_p99_ms"`
+	// Percentiles over all shard latencies, virtual ms. P50/95/99/999
+	// are exact (computed from the merged, sorted per-shard samples).
+	LatencyP50Ms  int64 `json:"latency_p50_ms"`
+	LatencyP95Ms  int64 `json:"latency_p95_ms"`
+	LatencyP99Ms  int64 `json:"latency_p99_ms"`
+	LatencyP999Ms int64 `json:"latency_p999_ms"`
+
+	// PhaseLatency is the per-phase attribution table: for every
+	// (phase, scenario) cell with samples, the count and p50/p99 of
+	// that phase's virtual duration. Rows are emitted in canonical
+	// phase × scenario order, so the JSON is byte-identical across
+	// runs. This is the paper's latency contrast broken down to where
+	// the time actually goes — lock confirmation vs decision vs
+	// settlement.
+	PhaseLatency []PhaseLatencyRow `json:"phase_latency"`
 
 	// MakespanVirtualMs is the slowest shard's virtual makespan;
 	// shards execute in parallel, so it bounds the run.
@@ -153,6 +175,21 @@ type Aggregate struct {
 	MsgsDropped   uint64 `json:"msgs_dropped"`
 
 	PerShard []ShardResult `json:"per_shard"`
+
+	// Trace is the run's merged trace when Config.Trace was set (nil
+	// otherwise). It is a carrier for the exporters, not part of the
+	// JSON aggregate — NDJSON and Chrome exports have their own
+	// deterministic byte layouts.
+	Trace *trace.Trace `json:"-"`
+}
+
+// PhaseLatencyRow is one cell of the per-phase latency table.
+type PhaseLatencyRow struct {
+	Phase    string   `json:"phase"`
+	Scenario Scenario `json:"scenario"`
+	Count    uint64   `json:"count"`
+	P50Ms    int64    `json:"p50_ms"`
+	P99Ms    int64    `json:"p99_ms"`
 }
 
 // Run executes the workload and returns the aggregate. It blocks
@@ -184,6 +221,18 @@ func (e *Engine) Run() (*Aggregate, error) {
 		}
 	}
 
+	// Per-shard trace recorders (nil when tracing is off): each lives
+	// on its shard's goroutine while the shard runs, and the engine
+	// merges them in shard order after the workers join — worker count
+	// never shows in the merged stream.
+	var recs []*trace.Recorder
+	if cfg.Trace {
+		recs = make([]*trace.Recorder, shards)
+		for i := range recs {
+			recs[i] = trace.NewRecorder(i, cfg.TraceRingCap)
+		}
+	}
+
 	results := make([]*ShardResult, shards)
 	errs := make([]error, shards)
 	idxCh := make(chan int)
@@ -197,7 +246,11 @@ func (e *Engine) Run() (*Aggregate, error) {
 			// independent without reallocating the simulator.
 			s := sim.New(0)
 			for idx := range idxCh {
-				results[idx], errs[idx] = runShard(s, idx, seeds[idx], cfg.Workload, txs[idx], e.col)
+				var rec *trace.Recorder
+				if recs != nil {
+					rec = recs[idx]
+				}
+				results[idx], errs[idx] = runShard(s, idx, seeds[idx], cfg.Workload, txs[idx], e.col, rec)
 			}
 		}()
 	}
@@ -212,11 +265,11 @@ func (e *Engine) Run() (*Aggregate, error) {
 			return nil, err
 		}
 	}
-	return e.assemble(results), nil
+	return e.assemble(results, recs), nil
 }
 
 // assemble merges per-shard results in shard order.
-func (e *Engine) assemble(results []*ShardResult) *Aggregate {
+func (e *Engine) assemble(results []*ShardResult, recs []*trace.Recorder) *Aggregate {
 	agg := &Aggregate{
 		Protocol:   e.cfg.Workload.Protocol,
 		Seed:       e.cfg.Seed,
@@ -257,9 +310,50 @@ func (e *Engine) assemble(results []*ShardResult) *Aggregate {
 		agg.PerShard = append(agg.PerShard, *r)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	agg.LatencyP50Ms = percentile(all, 50)
-	agg.LatencyP95Ms = percentile(all, 95)
-	agg.LatencyP99Ms = percentile(all, 99)
+	agg.LatencyP50Ms = permille(all, 500)
+	agg.LatencyP95Ms = permille(all, 950)
+	agg.LatencyP99Ms = permille(all, 990)
+	agg.LatencyP999Ms = permille(all, 999)
+
+	// Per-phase latency table: fold per-shard histograms (Hist.Merge
+	// is commutative, so map iteration order cannot matter), then emit
+	// rows in canonical phase × scenario order.
+	phases := make(map[phaseKey]*metrics.Hist)
+	for _, r := range results {
+		for k, h := range r.phase {
+			if phases[k] == nil {
+				phases[k] = metrics.NewHist(phaseBounds...)
+			}
+			phases[k].Merge(h)
+		}
+	}
+	scOrder := []Scenario{ScenarioCommit, ScenarioAbort, ScenarioCrash,
+		ScenarioRace, ScenarioPartition, ScenarioLossy, ScenarioGeo}
+	for _, ph := range trace.Phases {
+		for _, sc := range scOrder {
+			h := phases[phaseKey{ph, sc}]
+			if h == nil {
+				continue
+			}
+			s := h.Snapshot()
+			agg.PhaseLatency = append(agg.PhaseLatency, PhaseLatencyRow{
+				Phase:    ph,
+				Scenario: sc,
+				Count:    s.Count,
+				P50Ms:    s.Quantile(0.50),
+				P99Ms:    s.Quantile(0.99),
+			})
+		}
+	}
+
+	// Merge per-shard trace streams in shard order.
+	if recs != nil {
+		tr := &trace.Trace{}
+		for _, r := range recs {
+			tr.Merge(r)
+		}
+		agg.Trace = tr
+	}
 	if agg.MakespanVirtualMs > 0 {
 		agg.ThroughputTPSVirtual = float64(agg.Graded) / (float64(agg.MakespanVirtualMs) / 1000)
 	}
@@ -273,13 +367,13 @@ func (e *Engine) assemble(results []*ShardResult) *Aggregate {
 	return agg
 }
 
-// percentile returns the p-th percentile of sorted samples (nearest
-// rank; 0 when empty).
-func percentile(sorted []int64, p int) int64 {
+// permille returns the p‰ quantile of sorted samples (nearest rank;
+// 0 when empty). p50 is permille(s, 500), p99.9 is permille(s, 999).
+func permille(sorted []int64, p int) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := (p*len(sorted) + 99) / 100
+	rank := (p*len(sorted) + 999) / 1000
 	if rank < 1 {
 		rank = 1
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/swap"
+	"repro/internal/trace"
 	"repro/internal/xchain"
 )
 
@@ -60,6 +61,16 @@ type txState struct {
 	graded bool
 	// finishing: Settled held and the settle-grace finish is pending.
 	finishing bool
+	// startedAt/settledAt bound the root span: admission, and the
+	// moment the engine first observed Settled() (0 if never — the
+	// settle phase is then absent). Settlement is observed here, not
+	// in the protocols, so the boundary means the same thing for all
+	// three.
+	startedAt sim.Time
+	settledAt sim.Time
+	// base samples the shard's world counters at admission (tracing
+	// only); finish attaches the deltas to the root span.
+	base worldCounters
 	// deadline is the absolute grading deadline.
 	deadline sim.Time
 	// hook is the scenario's chain-watch (crash victims, decision
@@ -102,11 +113,35 @@ type shardExec struct {
 	inFlight int
 	queue    []int
 	res      *ShardResult
+	// rec is the shard's trace recorder; nil when tracing is off (all
+	// recorder methods are nil-safe, so instrumentation points pay one
+	// nil check).
+	rec *trace.Recorder
+}
+
+// worldCounters is a point-in-time sample of the shard's cumulative
+// world counters; per-transaction deltas annotate root spans.
+type worldCounters struct {
+	blocksExecuted uint64
+	msgsDropped    uint64
+	forksObserved  int
+}
+
+// sampleCounters reads the shard's cumulative counters (tracing only).
+func (e *shardExec) sampleCounters() worldCounters {
+	var c worldCounters
+	for _, id := range e.w.Chains() {
+		net := e.w.Net(id)
+		c.blocksExecuted += net.Executor().Stats().Executed
+		c.msgsDropped += net.MsgsDropped()
+		c.forksObserved += net.TotalReorgs()
+	}
+	return c
 }
 
 // runShard executes txCount transactions on a world derived from
 // seed, reusing (and Reset-ing) the provided simulator.
-func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *Collector) (*ShardResult, error) {
+func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *Collector, rec *trace.Recorder) (*ShardResult, error) {
 	s.Reset(seed)
 	e := &shardExec{
 		idx:  idx,
@@ -116,6 +151,7 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *C
 		s:    s,
 		txs:  make([]txState, txCount),
 		res:  &ShardResult{Shard: idx, Seed: seed, Txs: txCount, ByScenario: make(map[Scenario]ScenarioStats)},
+		rec:  rec,
 	}
 	if err := e.buildWorld(txCount); err != nil {
 		return nil, err
@@ -153,6 +189,15 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *C
 			e.res.MaxReorgDepth = d
 		}
 		e.res.MsgsDropped += net.MsgsDropped()
+		// One summary span per chain: the whole shard makespan on its
+		// own track, annotated with the chain's lifetime counters.
+		e.rec.Span("chain:"+string(id), "chain "+string(id), 0, int64(s.Now()), -1,
+			trace.Attr{K: "blocks_mined", V: int64(net.BlocksMined())},
+			trace.Attr{K: "blocks_executed", V: int64(st.Executed)},
+			trace.Attr{K: "exec_cache_hits", V: int64(st.Hits)},
+			trace.Attr{K: "forks_observed", V: int64(net.TotalReorgs())},
+			trace.Attr{K: "max_reorg_depth", V: int64(net.MaxReorgDepth())},
+			trace.Attr{K: "msgs_dropped", V: int64(net.MsgsDropped())})
 	}
 	return e.res, nil
 }
@@ -249,6 +294,10 @@ func (e *shardExec) start(i int) {
 	ps := e.parts[i]
 	st := &e.txs[i]
 	st.parts = ps
+	st.startedAt = e.s.Now()
+	if e.rec.Enabled() {
+		st.base = e.sampleCounters()
+	}
 
 	chains := make([]chain.ID, spec.size)
 	for j := range chains {
@@ -307,6 +356,7 @@ func (e *shardExec) checkTx(i int) {
 	}
 	if st.runner != nil && st.runner.Settled() {
 		st.finishing = true
+		st.settledAt = e.s.Now()
 		e.s.After(settleGrace, func() { e.finish(i, st.runner) })
 		return
 	}
@@ -567,6 +617,7 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 	}
 	e.res.record(sc, committed, aborted, violated, lat, deploys, calls)
 	e.col.observe(lat, violated)
+	e.observeTx(i, runner, committed, aborted, violated, deploys, calls)
 
 	// Retire: stop the runner (every protocol implements it through
 	// the shared runtime) and crash the participants so lingering
@@ -592,6 +643,86 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 		// Last transaction graded: stop the virtual clock instead of
 		// waiting for the safety-net check to notice.
 		e.s.Stop()
+	}
+}
+
+// observeTx derives the transaction's phase spans from the protocol's
+// uniform phase marks plus the engine's own settlement observation,
+// folds completed phases into the shard's per-(phase, scenario)
+// histograms (always), and — when tracing is on — emits the root span,
+// the phase spans, and the protocol timeline as instants on the
+// transaction's track.
+func (e *shardExec) observeTx(i int, runner core.Runner, committed, aborted, violated bool, deploys, calls int) {
+	if runner == nil {
+		return
+	}
+	st := &e.txs[i]
+	sc := e.specs[i].scenario
+	marks := runner.Marks()
+	at := func(p protocol.Point) (sim.Time, bool) {
+		for _, m := range marks {
+			if m.Point == p {
+				return m.At, true
+			}
+		}
+		return 0, false
+	}
+	ds, okDS := at(protocol.PointDeploySubmitted)
+	dc, okDC := at(protocol.PointDeployConfirmed)
+	dt, okDT := at(protocol.PointDecisionTriggered)
+	dd, okDD := at(protocol.PointDecisionConfirmed)
+	phases := []struct {
+		name     string
+		from, to sim.Time
+		ok       bool
+	}{
+		{trace.PhaseSetup, st.startedAt, ds, okDS},
+		{trace.PhaseLock, ds, dc, okDS && okDC},
+		{trace.PhaseDecisionWait, dc, dt, okDC && okDT},
+		{trace.PhaseDecision, dt, dd, okDT && okDD},
+		{trace.PhaseSettle, dd, st.settledAt, okDD && st.settledAt != 0},
+	}
+
+	track := fmt.Sprintf("tx:%d", i)
+	if e.rec.Enabled() {
+		outcome := "stuck"
+		switch {
+		case committed:
+			outcome = "committed"
+		case aborted:
+			outcome = "aborted"
+		}
+		delta := e.sampleCounters()
+		var vio int64
+		if violated {
+			vio = 1
+		}
+		e.rec.Emit(trace.Record{
+			Kind: trace.KindSpan, Track: track, Name: "ac2t",
+			T: int64(st.startedAt), Dur: int64(e.s.Now() - st.startedAt),
+			Tx: i, Scenario: string(sc), Outcome: outcome,
+			Attrs: []trace.Attr{
+				{K: "size", V: int64(e.specs[i].size)},
+				{K: "deploys", V: int64(deploys)},
+				{K: "calls", V: int64(calls)},
+				{K: "violated", V: vio},
+				{K: "blocks_executed", V: int64(delta.blocksExecuted - st.base.blocksExecuted)},
+				{K: "msgs_dropped", V: int64(delta.msgsDropped - st.base.msgsDropped)},
+				{K: "forks_observed", V: int64(delta.forksObserved - st.base.forksObserved)},
+			},
+		})
+	}
+	for _, ph := range phases {
+		if !ph.ok || ph.to < ph.from {
+			continue
+		}
+		e.res.observePhase(ph.name, sc, ph.to-ph.from)
+		e.rec.Span(track, ph.name, int64(ph.from), int64(ph.to), i)
+	}
+	if e.rec.Enabled() {
+		for _, ev := range runner.Events() {
+			e.rec.Instant(track, ev.Label, int64(ev.At), i, trace.Attr{K: "edge", V: int64(ev.Edge)})
+		}
 	}
 }
 

@@ -79,6 +79,41 @@ func (s HistSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Merge folds other into h. Both histograms must share identical
+// bucket bounds — they do when built from the same constructor, which
+// is how the engine folds per-shard histograms in shard order. Merge
+// panics on a bounds mismatch (a programming error, not data).
+func (h *Hist) Merge(other *Hist) {
+	if other == nil {
+		return
+	}
+	os := other.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(os.Bounds) != len(h.bounds) {
+		panic("metrics: Merge with mismatched bucket bounds")
+	}
+	for i, b := range h.bounds {
+		if os.Bounds[i] != b {
+			panic("metrics: Merge with mismatched bucket bounds")
+		}
+	}
+	if os.Count == 0 {
+		return
+	}
+	for i, c := range os.Counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || os.Min < h.min {
+		h.min = os.Min
+	}
+	if h.n == 0 || os.Max > h.max {
+		h.max = os.Max
+	}
+	h.n += os.Count
+	h.sum += os.Sum
+}
+
 // Snapshot returns a consistent copy of the histogram's state.
 func (h *Hist) Snapshot() HistSnapshot {
 	h.mu.Lock()
@@ -91,6 +126,65 @@ func (h *Hist) Snapshot() HistSnapshot {
 		Min:    h.min,
 		Max:    h.max,
 	}
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by integer
+// interpolation within the bucket holding the rank-⌈q·n⌉ sample,
+// clamped to the observed [Min, Max] so estimates never stray outside
+// the data. Deterministic: pure integer arithmetic over the counts.
+// Returns 0 on an empty histogram.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	// rank = ceil(q * n), 1-based.
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		// The rank-th sample lies in bucket i. Interpolate linearly
+		// between the bucket's bounds by the rank's position within it.
+		lo := s.Min
+		if i > 0 {
+			lo = s.Bounds[i-1] + 1
+		}
+		hi := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// position within the bucket: 0 for the first sample, c-1 for
+		// the last; integer interpolation keeps this deterministic.
+		pos := rank - cum - 1
+		if c > 1 {
+			return lo + int64(uint64(hi-lo)*pos/(c-1))
+		}
+		return lo + (hi-lo)/2
+	}
+	return s.Max
 }
 
 // String renders the histogram as an aligned bucket table.

@@ -158,3 +158,76 @@ func TestHistBuckets(t *testing.T) {
 		t.Fatal("mean should be nonzero")
 	}
 }
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist(10, 20, 40, 80)
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		q      float64
+		lo, hi int64 // acceptable interpolation window
+	}{
+		{0.5, 40, 60},   // true p50 = 50
+		{0.99, 81, 100}, // true p99 = 99, overflow bucket clamps to [81, max]
+		{0.01, 1, 10},
+		{1.0, 100, 100},
+		{0.0, 1, 1},
+	}
+	for _, c := range cases {
+		got := s.Quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Fatalf("Quantile(%v) = %d, want within [%d, %d]", c.q, got, c.lo, c.hi)
+		}
+	}
+	if got := NewHist(1).Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %d, want 0", got)
+	}
+	// Single-sample histogram: every quantile is that sample.
+	one := NewHist(10, 20)
+	one.Observe(15)
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if got := one.Snapshot().Quantile(q); got != 15 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want 15", q, got)
+		}
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a := NewHist(10, 100)
+	b := NewHist(10, 100)
+	for _, v := range []int64{1, 5, 50} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{7, 200} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	s := a.Snapshot()
+	if s.Count != 5 || s.Sum != 263 || s.Min != 1 || s.Max != 200 {
+		t.Fatalf("merged stats wrong: %+v", s)
+	}
+	if s.Counts[0] != 3 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("merged counts wrong: %v", s.Counts)
+	}
+	// Merging into an empty histogram adopts min/max.
+	c := NewHist(10, 100)
+	c.Merge(b)
+	cs := c.Snapshot()
+	if cs.Min != 7 || cs.Max != 200 || cs.Count != 2 {
+		t.Fatalf("empty-merge stats wrong: %+v", cs)
+	}
+	// Merging an empty histogram is a no-op.
+	c.Merge(NewHist(10, 100))
+	if c.Snapshot().Count != 2 {
+		t.Fatal("empty merge changed count")
+	}
+	// Mismatched bounds must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with mismatched bounds did not panic")
+		}
+	}()
+	a.Merge(NewHist(1, 2))
+}

@@ -49,6 +49,37 @@ type Event struct {
 	Edge  int // -1 for protocol-level events
 }
 
+// Point is a named phase boundary in an AC2T's lifecycle. Every
+// protocol on the runtime marks the same four points, which is what
+// makes the trace layer's phase spans comparable across AC3WN, AC3TW
+// and HTLC: the protocols disagree about *how* a decision happens, but
+// not about when contracts were submitted, when they were all
+// confirmed, when the decisive action started, and when the decision
+// became final.
+type Point string
+
+// The cross-protocol instrumentation points, in causal order.
+const (
+	// PointDeploySubmitted: the first on-chain contract submission
+	// (SCw for AC3WN, the first asset contract otherwise).
+	PointDeploySubmitted Point = "deploy_submitted"
+	// PointDeployConfirmed: every asset contract confirmed at depth.
+	PointDeployConfirmed Point = "deploy_confirmed"
+	// PointDecisionTriggered: the decisive action started — the first
+	// authorize_* submission (AC3WN), the witness request (AC3TW), or
+	// the first secret-revealing redeem (HTLC).
+	PointDecisionTriggered Point = "decision_triggered"
+	// PointDecisionConfirmed: the decision is final — stable at depth
+	// d on the witness chain, signed by Trent, or the reveal confirmed.
+	PointDecisionConfirmed Point = "decision_confirmed"
+)
+
+// Mark is one recorded phase boundary.
+type Mark struct {
+	Point Point
+	At    sim.Time
+}
+
 // Config wires a protocol's step function into the runtime.
 type Config struct {
 	// World hosts the simulated chains and the virtual clock.
@@ -85,6 +116,8 @@ type Runtime struct {
 	chains  []chain.ID // deduplicated subscription set
 	states  map[*xchain.Participant]*pstate
 	events  []Event
+	marks   []Mark
+	marked  map[Point]bool
 	start   sim.Time
 	started bool
 	stopped bool
@@ -114,6 +147,7 @@ func New(cfg Config) (*Runtime, error) {
 		cfg:    cfg,
 		chains: chains,
 		states: make(map[*xchain.Participant]*pstate, len(cfg.Participants)),
+		marked: make(map[Point]bool),
 	}
 	for _, p := range cfg.Participants {
 		rt.states[p] = &pstate{
@@ -252,9 +286,40 @@ func (rt *Runtime) Event(edge int, label string) {
 	rt.events = append(rt.events, Event{At: rt.Now(), Label: label, Edge: edge})
 }
 
-// Timeline returns the run's events. The slice is live; callers must
-// treat it as read-only.
-func (rt *Runtime) Timeline() []Event { return rt.events }
+// Mark records a phase boundary at the current virtual time. First
+// mark wins: protocols call it from idempotent step functions, and a
+// boundary that "happens again" (a retry, a second participant
+// observing the same stable state) is the same boundary.
+func (rt *Runtime) Mark(p Point) {
+	if rt.marked[p] {
+		return
+	}
+	rt.marked[p] = true
+	rt.marks = append(rt.marks, Mark{Point: p, At: rt.Now()})
+}
+
+// Marks returns a copy of the recorded phase boundaries in the order
+// they occurred.
+func (rt *Runtime) Marks() []Mark { return append([]Mark(nil), rt.marks...) }
+
+// MarkTime returns when a point was marked (false if it never was).
+func (rt *Runtime) MarkTime(p Point) (sim.Time, bool) {
+	if !rt.marked[p] {
+		return 0, false
+	}
+	for _, m := range rt.marks {
+		if m.Point == p {
+			return m.At, true
+		}
+	}
+	return 0, false
+}
+
+// Timeline returns a copy of the run's events. It used to return the
+// live internal slice, which let a caller holding the result observe
+// (or, worse, be invalidated by) later appends — every caller now gets
+// its own snapshot.
+func (rt *Runtime) Timeline() []Event { return append([]Event(nil), rt.events...) }
 
 // TimelineEnd returns the latest event timestamp, at least start —
 // the observation end every protocol's Grade stamps on its outcome.

@@ -237,3 +237,80 @@ func TestEnsureTxConfirmsAndResubmits(t *testing.T) {
 }
 
 const time30s = 30 * sim.Second
+
+// TestTimelineReturnsCopy: the slice Timeline returns must be a
+// snapshot — mutating it (or appending to the runtime afterwards) must
+// not alias the runtime's internal events. Regression: Timeline used
+// to return the live slice.
+func TestTimelineReturnsCopy(t *testing.T) {
+	w, alice, bob := world(t, 7)
+	rt, err := New(Config{
+		World:        w,
+		Participants: []*xchain.Participant{alice, bob},
+		Chains:       []chain.ID{"c0"},
+		Drive:        func(p *xchain.Participant) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Event(-1, "first")
+	rt.Event(0, "second")
+	snap := rt.Timeline()
+	if len(snap) != 2 {
+		t.Fatalf("timeline has %d events, want 2", len(snap))
+	}
+	// Mutating the snapshot must not corrupt the runtime's timeline.
+	snap[0].Label = "tampered"
+	if got := rt.Timeline()[0].Label; got != "first" {
+		t.Fatalf("snapshot mutation leaked into the runtime: %q", got)
+	}
+	// Later appends must not grow (or reallocate under) the snapshot.
+	rt.Event(-1, "third")
+	if len(snap) != 2 {
+		t.Fatalf("snapshot grew to %d after a later Event", len(snap))
+	}
+	if snap[1].Label != "second" {
+		t.Fatalf("snapshot changed under a later Event: %q", snap[1].Label)
+	}
+}
+
+// TestMarkFirstWins: Mark records each phase point once, at the first
+// call's virtual time; Marks returns an independent copy.
+func TestMarkFirstWins(t *testing.T) {
+	w, alice, bob := world(t, 8)
+	rt, err := New(Config{
+		World:        w,
+		Participants: []*xchain.Participant{alice, bob},
+		Chains:       []chain.ID{"c0"},
+		Drive:        func(p *xchain.Participant) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Mark(PointDeploySubmitted)
+	w.RunFor(time30s)
+	rt.Mark(PointDeploySubmitted) // retry: must not move the boundary
+	rt.Mark(PointDeployConfirmed)
+	marks := rt.Marks()
+	if len(marks) != 2 {
+		t.Fatalf("got %d marks, want 2", len(marks))
+	}
+	if marks[0].Point != PointDeploySubmitted || marks[0].At != 0 {
+		t.Fatalf("first mark = %+v, want deploy_submitted at t=0", marks[0])
+	}
+	if marks[1].Point != PointDeployConfirmed || marks[1].At != time30s {
+		t.Fatalf("second mark = %+v, want deploy_confirmed at t=30s", marks[1])
+	}
+	at, ok := rt.MarkTime(PointDeploySubmitted)
+	if !ok || at != 0 {
+		t.Fatalf("MarkTime(deploy_submitted) = %v,%v", at, ok)
+	}
+	if _, ok := rt.MarkTime(PointDecisionConfirmed); ok {
+		t.Fatal("MarkTime reports a point that was never marked")
+	}
+	// The returned slice is a copy.
+	marks[0].Point = PointDecisionTriggered
+	if rt.Marks()[0].Point != PointDeploySubmitted {
+		t.Fatal("Marks() returned the live slice")
+	}
+}

@@ -168,6 +168,9 @@ func (r *Run) Stop() { r.rt.Stop() }
 // Events returns the run's timeline.
 func (r *Run) Events() []Event { return r.rt.Timeline() }
 
+// Marks returns the run's phase boundaries (for trace span derivation).
+func (r *Run) Marks() []protocol.Mark { return r.rt.Marks() }
+
 // computeSchedule derives deployment layers and timelocks: a contract
 // whose sender is at BFS distance k from the leader deploys in step k
 // and carries timelock start + (2·Diam − k + 1)·Δ, preserving
@@ -283,6 +286,7 @@ func (r *Run) deployOutgoing(p *xchain.Participant) {
 		p.Deploys++
 		r.ownTx[i] = tx
 		r.ownAddr[i] = addr
+		r.rt.Mark(protocol.PointDeploySubmitted)
 		r.rt.Event(i, "deploy submitted")
 	}
 }
@@ -296,6 +300,7 @@ func (r *Run) noteConfirmed(i int, addr crypto.Address) {
 	r.confirmed[i] = true
 	if r.allConfirmed() && r.DeployPhaseEnd == 0 {
 		r.DeployPhaseEnd = r.w.Sim.Now()
+		r.rt.Mark(protocol.PointDeployConfirmed)
 		r.rt.Event(-1, "all contracts deployed")
 	}
 }
@@ -368,6 +373,7 @@ func (r *Run) redeemIncoming(p *xchain.Participant, secret []byte) {
 			if deep, okDeep := client.ContractNow(r.addrs[i], r.cfg.ConfirmDepth); okDeep {
 				if hd, isHd := deep.(*contracts.HTLC); isHd && hd.State == contracts.StateRedeemed {
 					r.redeemConfirmed[i] = true
+					r.rt.Mark(protocol.PointDecisionConfirmed)
 					r.rt.Event(i, "redeem confirmed")
 					r.RedeemPhaseEnd = r.w.Sim.Now()
 				}
@@ -383,6 +389,7 @@ func (r *Run) redeemIncoming(p *xchain.Participant, secret []byte) {
 				p.Calls++
 				if !r.redeemSubmitted[i] {
 					r.redeemSubmitted[i] = true
+					r.rt.Mark(protocol.PointDecisionTriggered)
 					r.rt.Event(i, "redeem submitted")
 				}
 			}
@@ -420,6 +427,7 @@ func (r *Run) refundExpired(p *xchain.Participant, now sim.Time) {
 				p.Calls++
 				if !r.refundSubmitted[i] {
 					r.refundSubmitted[i] = true
+					r.rt.Mark(protocol.PointDecisionTriggered)
 					r.rt.Event(i, "refund submitted")
 				}
 			}

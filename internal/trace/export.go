@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteNDJSON streams the trace as newline-delimited JSON, one record
+// per line, in merged (shard, seq) order. The byte stream is a pure
+// function of the run configuration: fixed-order struct marshaling,
+// no wall clock, no maps.
+func WriteNDJSON(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.Records {
+		// Encode appends the newline itself — one record per line.
+		if err := enc.Encode(&t.Records[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one Chrome trace_event entry. Timestamps are in
+// microseconds (the format's unit); virtual milliseconds scale by
+// 1000. Args marshal through a pre-built RawMessage so key order is
+// deterministic.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   int64           `json:"ts"`
+	Dur  int64           `json:"dur,omitempty"`
+	S    string          `json:"s,omitempty"` // instant scope
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace_event JSON (the
+// {"traceEvents": [...]} object form), loadable in chrome://tracing
+// and Perfetto. One process per shard; within a shard, one track per
+// transaction ("tx:<n>") plus one per chain ("chain:<id>") and one
+// shard-level track. Track→tid assignment follows first appearance in
+// the merged record stream, so the output is deterministic.
+func WriteChrome(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Track → tid per shard, assigned in first-seen order; metadata
+	// events name the processes and threads as tracks appear.
+	type trackKey struct {
+		shard int
+		track string
+	}
+	tids := make(map[trackKey]int)
+	nextTid := make(map[int]int)
+	seenShard := make(map[int]bool)
+
+	for i := range t.Records {
+		rec := &t.Records[i]
+		if !seenShard[rec.Shard] {
+			seenShard[rec.Shard] = true
+			if err := emit(chromeEvent{
+				Name: "process_name", Ph: "M", Pid: rec.Shard, Tid: 0,
+				Args: nameArgs(fmt.Sprintf("shard %d", rec.Shard)),
+			}); err != nil {
+				return err
+			}
+		}
+		key := trackKey{rec.Shard, rec.Track}
+		tid, ok := tids[key]
+		if !ok {
+			nextTid[rec.Shard]++
+			tid = nextTid[rec.Shard]
+			tids[key] = tid
+			if err := emit(chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: rec.Shard, Tid: tid,
+				Args: nameArgs(rec.Track),
+			}); err != nil {
+				return err
+			}
+		}
+		ev := chromeEvent{
+			Name: rec.Name,
+			Pid:  rec.Shard,
+			Tid:  tid,
+			Ts:   rec.T * 1000,
+			Args: recArgs(rec),
+		}
+		switch rec.Kind {
+		case KindSpan:
+			ev.Ph = "X"
+			ev.Cat = "span"
+			ev.Dur = rec.Dur * 1000
+			if ev.Dur == 0 {
+				ev.Dur = 1 // zero-width spans vanish in viewers
+			}
+		default:
+			ev.Ph = "i"
+			ev.Cat = "event"
+			ev.S = "t"
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// nameArgs builds the {"name": ...} metadata payload.
+func nameArgs(name string) json.RawMessage {
+	b, _ := json.Marshal(struct {
+		Name string `json:"name"`
+	}{name})
+	return b
+}
+
+// recArgs assembles a record's annotations as a RawMessage with
+// deterministic key order: scenario, outcome, then attrs as listed.
+func recArgs(rec *Record) json.RawMessage {
+	if rec.Scenario == "" && rec.Outcome == "" && len(rec.Attrs) == 0 {
+		return nil
+	}
+	buf := []byte{'{'}
+	sep := false
+	add := func(k, v string, quote bool) {
+		if sep {
+			buf = append(buf, ',')
+		}
+		sep = true
+		buf = strconv.AppendQuote(buf, k)
+		buf = append(buf, ':')
+		if quote {
+			buf = strconv.AppendQuote(buf, v)
+		} else {
+			buf = append(buf, v...)
+		}
+	}
+	if rec.Scenario != "" {
+		add("scenario", rec.Scenario, true)
+	}
+	if rec.Outcome != "" {
+		add("outcome", rec.Outcome, true)
+	}
+	for _, a := range rec.Attrs {
+		add(a.K, strconv.FormatInt(a.V, 10), false)
+	}
+	buf = append(buf, '}')
+	return buf
+}

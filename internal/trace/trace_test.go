@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRingEviction drives a small ring far past capacity and checks
+// the bound holds, eviction is counted, and the survivors are the most
+// recent records in order.
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(0, 8)
+	for i := 0; i < 100; i++ {
+		r.Instant("shard", "tick", int64(i), -1)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("ring holds %d records, cap is 8", r.Len())
+	}
+	if r.Dropped() != 92 {
+		t.Fatalf("dropped = %d, want 92", r.Dropped())
+	}
+	recs := r.Records()
+	for i, rec := range recs {
+		if want := int64(92 + i); rec.T != want {
+			t.Fatalf("record %d has t=%d, want %d (oldest-first suffix)", i, rec.T, want)
+		}
+		if rec.Seq != uint64(92+i) {
+			t.Fatalf("record %d has seq=%d, want %d", i, rec.Seq, 92+i)
+		}
+	}
+}
+
+// TestRingMemoryFlat emits 100k records into a bounded ring: the held
+// count must never exceed capacity regardless of volume — the property
+// that keeps tracing memory-flat at 1M-transaction scale.
+func TestRingMemoryFlat(t *testing.T) {
+	r := NewRecorder(3, 1024)
+	for i := 0; i < 100_000; i++ {
+		r.Span("tx:1", "phase", int64(i), int64(i+5), 1, Attr{K: "n", V: int64(i)})
+		if r.Len() > 1024 {
+			t.Fatalf("ring grew past capacity at record %d: %d", i, r.Len())
+		}
+	}
+	if got := r.Dropped(); got != 100_000-1024 {
+		t.Fatalf("dropped = %d, want %d", got, 100_000-1024)
+	}
+}
+
+// TestNilRecorderIsNoOp: a nil recorder is the disabled tracer; every
+// method must be safe and free of effects.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+	r.Emit(Record{Name: "x"})
+	r.Instant("tr", "x", 1, 0)
+	r.Span("tr", "x", 1, 2, 0)
+	if r.Records() != nil || r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder retained state")
+	}
+	var tr Trace
+	tr.Merge(r)
+	if len(tr.Records) != 0 {
+		t.Fatal("merging a nil recorder produced records")
+	}
+}
+
+// sampleTrace builds a two-shard trace with every record feature
+// (spans, instants, attrs, scenario/outcome) exercised.
+func sampleTrace() *Trace {
+	r0 := NewRecorder(0, 16)
+	r0.Span("tx:0", PhaseLock, 100, 400, 0, Attr{K: "edge", V: 1})
+	r0.Instant("tx:0", "deploy confirmed", 400, 0)
+	r0.Emit(Record{Kind: KindSpan, Track: "tx:0", Name: "ac2t", T: 0, Dur: 900, Tx: 0,
+		Scenario: "commit", Outcome: "committed", Attrs: []Attr{{K: "blocks_executed", V: 12}}})
+	r1 := NewRecorder(1, 16)
+	r1.Span("chain:asset-0", "chain asset-0", 0, 1000, -1, Attr{K: "blocks_mined", V: 99})
+	var tr Trace
+	tr.Merge(r0)
+	tr.Merge(r1)
+	return &tr
+}
+
+// TestNDJSONDeterminism marshals the same trace twice and checks the
+// bytes agree line for line — the engine-level CI smoke relies on it.
+func TestNDJSONDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteNDJSON(&a, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(&b, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("NDJSON bytes differ across identical traces")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d NDJSON lines, want 4", len(lines))
+	}
+	// Every line must round-trip as a Record.
+	for i, line := range lines {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Scenario != "commit" || rec.Outcome != "committed" || len(rec.Attrs) != 1 {
+		t.Fatalf("record lost fields through NDJSON: %+v", rec)
+	}
+}
+
+// TestChromeExport checks the trace_event export parses as JSON,
+// carries one process per shard, names tracks, and scales timestamps
+// to microseconds.
+func TestChromeExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var procs, threads, spans, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "process_name" {
+				procs++
+			} else {
+				threads++
+			}
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if procs != 2 {
+		t.Fatalf("%d process_name events, want 2 (one per shard)", procs)
+	}
+	if threads != 2 { // tx:0 on shard 0, chain:asset-0 on shard 1
+		t.Fatalf("%d thread_name events, want 2", threads)
+	}
+	if spans != 3 || instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 3/1", spans, instants)
+	}
+	// The lock span starts at virtual ms 100 → ts 100000 µs.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" && ev["name"] == PhaseLock {
+			found = true
+			if ev["ts"].(float64) != 100000 {
+				t.Fatalf("lock span ts = %v, want 100000 µs", ev["ts"])
+			}
+			args := ev["args"].(map[string]any)
+			if args["edge"].(float64) != 1 {
+				t.Fatalf("lock span lost its attr: %v", args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no lock span in chrome export")
+	}
+	// Determinism: identical traces, identical bytes.
+	var again bytes.Buffer
+	if err := WriteChrome(&again, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("chrome export bytes differ across identical traces")
+	}
+}
