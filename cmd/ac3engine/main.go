@@ -10,6 +10,7 @@
 //	          [-mix commit,abort,crash,race[,partition,lossy,geo]]
 //	          [-loss P] [-partitionfor min]
 //	          [-sizes 2:6,3:3,4:1] [-progress] [-strict] [-execbudget N]
+//	          [-prunedepth N] [-membudget MiB] [-memlimit MiB]
 //	          [-trace file] [-tracechrome file] [-tracecap N]
 //	          [-cpuprofile file] [-memprofile file]
 //
@@ -45,11 +46,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -72,6 +75,9 @@ func main() {
 	progress := flag.Bool("progress", false, "report live progress to stderr")
 	strict := flag.Bool("strict", false, "exit non-zero unless every transaction settled (graded, none stuck) with zero atomicity violations")
 	execBudget := flag.Float64("execbudget", 0, "max blocks executed per settled AC2T (0 = unchecked); guards the shared-executor N-times-to-once win")
+	pruneDepth := flag.Int("prunedepth", 0, "executor state-GC horizon in blocks (0 = engine default, negative = retain every state)")
+	memBudget := flag.Float64("membudget", 0, "max peak process memory in MiB via runtime sampling (0 = unchecked); guards the flat-memory-in-tx-count invariant")
+	memLimit := flag.Float64("memlimit", 0, "soft runtime memory limit in MiB (GOMEMLIMIT; 0 = none) — caps GC overshoot at the cost of more frequent collections")
 	traceOut := flag.String("trace", "", "write the deterministic trace as NDJSON to this file")
 	traceChrome := flag.String("tracechrome", "", "write the trace as Chrome trace_event JSON (Perfetto-loadable) to this file")
 	traceCap := flag.Int("tracecap", 0, "per-shard trace ring capacity (0 = default)")
@@ -79,6 +85,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
+	if *memLimit > 0 {
+		debug.SetMemoryLimit(int64(*memLimit * (1 << 20)))
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -114,6 +123,7 @@ func main() {
 		Shards:       *shards,
 		Workers:      *workers,
 		Workload:     wl,
+		PruneDepth:   *pruneDepth,
 		Trace:        *traceOut != "" || *traceChrome != "",
 		TraceRingCap: *traceCap,
 	})
@@ -138,9 +148,11 @@ func main() {
 		}()
 	}
 
+	sampler := bench.StartMemSampler()
 	start := time.Now()
 	agg, err := eng.Run()
 	wall := time.Since(start)
+	mem := sampler.Stop()
 	close(stop)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -186,6 +198,16 @@ func main() {
 		agg.BlocksMined, agg.BlocksExecuted, agg.BlocksExecutedPerTx, 100*agg.ExecHitRate)
 	fmt.Fprintf(os.Stderr, "adversity: %d forks observed, max reorg depth %d, %d msgs dropped\n",
 		agg.ForksObserved, agg.MaxReorgDepth, agg.MsgsDropped)
+	// Memory numbers are machine/GC-schedule dependent, so they live
+	// here on stderr with the other wall-clock diagnostics — never in
+	// the byte-compared JSON aggregates above.
+	allocsPerTx := 0.0
+	if agg.Graded > 0 {
+		allocsPerTx = float64(mem.Mallocs) / float64(agg.Graded)
+	}
+	fmt.Fprintf(os.Stderr, "memory: peak heap %.1f MiB, peak sys %.1f MiB, %.0f allocs per graded AC2T, states: %d pruned, %d live, %d replayed, %d blocks retired\n",
+		float64(mem.PeakHeapBytes)/(1<<20), float64(mem.PeakSysBytes)/(1<<20),
+		allocsPerTx, agg.StatesPruned, agg.StatesLive, agg.StateReplays, agg.BlocksRetired)
 	// Violations always fail AC3WN runs (the protocol's core claim);
 	// for the baselines they only fail under -strict, since producing
 	// them is often the point of the experiment.
@@ -206,6 +228,11 @@ func main() {
 	if *execBudget > 0 && agg.BlocksExecutedPerTx > *execBudget {
 		fmt.Fprintf(os.Stderr, "EXEC BUDGET: %.2f blocks executed per settled AC2T exceeds budget %.2f\n",
 			agg.BlocksExecutedPerTx, *execBudget)
+		os.Exit(1)
+	}
+	if *memBudget > 0 && float64(mem.PeakSysBytes)/(1<<20) > *memBudget {
+		fmt.Fprintf(os.Stderr, "MEM BUDGET: peak sys %.1f MiB exceeds budget %.1f MiB\n",
+			float64(mem.PeakSysBytes)/(1<<20), *memBudget)
 		os.Exit(1)
 	}
 }

@@ -21,7 +21,8 @@ func EngineLoad(seed uint64) *Result {
 	const perShardTxs = 20
 	t := metrics.NewTable("Engine — AC2T throughput under sustained mixed load (AC3WN)",
 		"shards", "AC2Ts", "committed", "aborted", "stuck", "violations",
-		"p50 latency (min)", "makespan (min)", "throughput (AC2T/hour)", "events/AC2T", "blocks-exec/AC2T")
+		"p50 latency (min)", "makespan (min)", "throughput (AC2T/hour)", "events/AC2T", "blocks-exec/AC2T",
+		"peak-RSS (MiB)", "allocs/AC2T", "states-pruned")
 	ok := true
 	var tps1 float64
 	for _, shards := range []int{1, 2, 4} {
@@ -33,17 +34,26 @@ func EngineLoad(seed uint64) *Result {
 		if err != nil {
 			return &Result{ID: "engine", Title: "throughput under load", Output: err.Error()}
 		}
+		sampler := StartMemSampler()
 		agg, err := e.Run()
+		mem := sampler.Stop()
 		if err != nil {
 			return &Result{ID: "engine", Title: "throughput under load", Output: err.Error()}
 		}
 		tpsHour := agg.ThroughputTPSVirtual * 3600
+		allocsPerTx := 0.0
+		if agg.Graded > 0 {
+			allocsPerTx = float64(mem.Mallocs) / float64(agg.Graded)
+		}
 		t.AddRow(shards, agg.Graded, agg.Commits, agg.Aborts, agg.Stuck, agg.Violations,
 			fmt.Sprintf("%.1f", float64(agg.LatencyP50Ms)/float64(sim.Minute)),
 			fmt.Sprintf("%.1f", float64(agg.MakespanVirtualMs)/float64(sim.Minute)),
 			fmt.Sprintf("%.0f", tpsHour),
 			fmt.Sprintf("%.0f", agg.SimEventsPerTx),
-			fmt.Sprintf("%.1f", agg.BlocksExecutedPerTx))
+			fmt.Sprintf("%.1f", agg.BlocksExecutedPerTx),
+			fmt.Sprintf("%.1f", float64(mem.PeakSysBytes)/(1<<20)),
+			fmt.Sprintf("%.0f", allocsPerTx),
+			agg.StatesPruned)
 		// The claims under test: everything settles, atomicity holds
 		// under every scenario, and shards add throughput.
 		if agg.Graded != wl.Txs || agg.Stuck != 0 || agg.Violations != 0 {
@@ -60,6 +70,7 @@ func EngineLoad(seed uint64) *Result {
 	t.Note("per-shard offered load held constant; shards are independent worlds, so throughput adds")
 	t.Note("events/AC2T: simulator events per settled transaction — the notification bus's cost metric")
 	t.Note("blocks-exec/AC2T: ApplyBlock runs per settled transaction — the shared executor's cost metric (≈ blocks mined, not N× for N-node networks)")
+	t.Note("peak-RSS / allocs/AC2T: sampled process memory (machine-dependent, see bench.MemSampler); states-pruned: executor state-GC work (deterministic)")
 
 	hz, hzOK := hazardTable(seed)
 	adv, advOK := adversityTable(seed)

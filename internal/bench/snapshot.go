@@ -19,6 +19,10 @@ type EngineSnapshot struct {
 	Label string        `json:"label"`
 	Seed  uint64        `json:"seed"`
 	Rows  []SnapshotRow `json:"rows"`
+	// Scale holds the memory-scale rungs (10k/100k, opt-in 1M AC2Ts):
+	// the flat-memory evidence for the ROADMAP's 1M-tx push. Populated
+	// by SnapshotScale; empty for the plain Snapshot sweep.
+	Scale []ScaleRow `json:"scale,omitempty"`
 }
 
 // SnapshotRow is one engine configuration's measured outcome.
@@ -46,6 +50,36 @@ type SnapshotRow struct {
 	// PhaseLatency is the engine's per-phase attribution table for
 	// this configuration — where the virtual time of an AC2T goes.
 	PhaseLatency []engine.PhaseLatencyRow `json:"phase_latency"`
+}
+
+// ScaleRow is one memory-scale rung: the engine's default workload at
+// ac3engine defaults (8 shards), run at a tx count large enough that
+// linear memory would show, wrapped in a MemSampler. Wall/RSS/allocs
+// measure the snapshotting machine; the states_* and blocks_retired
+// fields are deterministic per seed.
+type ScaleRow struct {
+	Shards int   `json:"shards"`
+	Txs    int   `json:"txs"`
+	WallMs int64 `json:"wall_ms"`
+
+	// PeakRSSBytes is the sampled high-water runtime.MemStats.Sys (the
+	// runtime-visible proxy for peak RSS); PeakHeapBytes the high-water
+	// HeapAlloc; AllocsPerTx heap allocations per graded AC2T.
+	PeakRSSBytes  uint64  `json:"peak_rss_bytes"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	AllocsPerTx   float64 `json:"allocs_per_tx"`
+
+	Commits    int `json:"commits"`
+	Aborts     int `json:"aborts"`
+	Stuck      int `json:"stuck"`
+	Violations int `json:"atomicity_violations"`
+
+	ThroughputTPSVirtual float64 `json:"throughput_tps_virtual"`
+
+	StatesPruned  uint64 `json:"states_pruned"`
+	StatesLive    int    `json:"states_live"`
+	StateReplays  uint64 `json:"state_replays"`
+	BlocksRetired uint64 `json:"blocks_retired"`
 }
 
 // Snapshot runs the EngineLoad shard sweep (same workload, 1/2/4
@@ -83,6 +117,58 @@ func Snapshot(seed uint64, label string) (*EngineSnapshot, error) {
 			LatencyP99Ms:         agg.LatencyP99Ms,
 			LatencyP999Ms:        agg.LatencyP999Ms,
 			PhaseLatency:         agg.PhaseLatency,
+		})
+	}
+	return snap, nil
+}
+
+// SnapshotScale runs Snapshot, then appends one memory-scale rung per
+// entry in rungs (AC2T counts, e.g. 10_000, 100_000, 1_000_000): the
+// engine's default workload on 8 shards — the same configuration as
+// `ac3engine -txs N` — wrapped in a memory sampler. The rung list is
+// caller-chosen because the big rungs take real wall time (minutes for
+// 100k, tens of minutes for 1M on one core).
+func SnapshotScale(seed uint64, label string, rungs []int) (*EngineSnapshot, error) {
+	snap, err := Snapshot(seed, label)
+	if err != nil {
+		return nil, err
+	}
+	const scaleShards = 8
+	for _, txs := range rungs {
+		wl := engine.DefaultWorkload()
+		wl.Txs = txs
+		e, err := engine.New(engine.Config{Seed: seed, Shards: scaleShards, Workload: wl})
+		if err != nil {
+			return nil, err
+		}
+		sampler := StartMemSampler()
+		start := time.Now()
+		agg, err := e.Run()
+		wall := time.Since(start)
+		mem := sampler.Stop()
+		if err != nil {
+			return nil, err
+		}
+		allocsPerTx := 0.0
+		if agg.Graded > 0 {
+			allocsPerTx = float64(mem.Mallocs) / float64(agg.Graded)
+		}
+		snap.Scale = append(snap.Scale, ScaleRow{
+			Shards:               scaleShards,
+			Txs:                  agg.Txs,
+			WallMs:               wall.Milliseconds(),
+			PeakRSSBytes:         mem.PeakSysBytes,
+			PeakHeapBytes:        mem.PeakHeapBytes,
+			AllocsPerTx:          allocsPerTx,
+			Commits:              agg.Commits,
+			Aborts:               agg.Aborts,
+			Stuck:                agg.Stuck,
+			Violations:           agg.Violations,
+			ThroughputTPSVirtual: agg.ThroughputTPSVirtual,
+			StatesPruned:         agg.StatesPruned,
+			StatesLive:           agg.StatesLive,
+			StateReplays:         agg.StateReplays,
+			BlocksRetired:        agg.BlocksRetired,
 		})
 	}
 	return snap, nil

@@ -284,14 +284,18 @@ func ApplyBlock(parent *State, reg *vm.Registry, params Params, b *Block) (*Stat
 	seen := make(map[crypto.Hash]bool, len(b.Txs))
 	for i, tx := range b.Txs {
 		if i > 0 && tx.Kind == TxCoinbase {
+			st.recycle()
 			return nil, blockErr("coinbase at index %d", i)
 		}
 		id := tx.ID()
 		if seen[id] {
+			st.recycle()
 			return nil, blockErr("duplicate tx %s", id)
 		}
 		seen[id] = true
 		if err := ApplyTx(st, reg, params.ID, b.Header.Height, b.Header.Time, tx); err != nil {
+			// The scratch child never escaped this call; reclaim it.
+			st.recycle()
 			return nil, fmt.Errorf("%w: tx %d (%s): %v", ErrBlockInvalid, i, tx.Kind, err)
 		}
 	}

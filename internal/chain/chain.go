@@ -143,17 +143,20 @@ func (c *Chain) DepthOf(h crypto.Hash) (int, bool) {
 
 // StateAt returns the ledger state after the block with hash h. The
 // state is shared across views: treat it as read-only and branch with
-// Child() before mutating.
+// Child() before mutating. A state pruned by the executor's GC is
+// re-derived transparently by replay.
 func (c *Chain) StateAt(h crypto.Hash) (*State, bool) {
 	if !c.have[h] {
 		return nil, false
 	}
-	st, ok := c.exec.states[h]
-	return st, ok
+	return c.exec.stateOf(h)
 }
 
 // TipState returns the (shared, read-only) state at the canonical tip.
-func (c *Chain) TipState() *State { return c.exec.states[c.tip.Hash()] }
+func (c *Chain) TipState() *State {
+	st, _ := c.exec.stateOf(c.tip.Hash())
+	return st
+}
 
 // StateAtDepth returns the state of the canonical block buried depth
 // blocks under the tip (depth 0 = tip). It is how clients read
@@ -272,12 +275,22 @@ func (c *Chain) setTip(b *Block) {
 	for _, fn := range c.listeners {
 		fn(ev)
 	}
+	// Tip advanced: let the shared executor sweep states that are now
+	// buried beyond the prune horizon of every view. Runs after the
+	// listeners so any depth-bounded reads they issue stay cheap.
+	c.exec.prune()
 }
 
-// isAncestor reports whether a is an ancestor of (or equal to) b.
+// isAncestor reports whether a is an ancestor of (or equal to) b. The
+// walk stops as soon as it descends below a's height — an ancestor of
+// b at a's height can only be a itself — so a true reorg costs
+// O(fork length), not O(chain height).
 func (c *Chain) isAncestor(a, b *Block) bool {
 	target := a.Hash()
 	for cur := b; cur != nil; {
+		if cur.Header.Height < a.Header.Height {
+			return false
+		}
 		if cur.Hash() == target {
 			return true
 		}
@@ -312,6 +325,27 @@ func (c *Chain) TxDepth(id crypto.Hash) (int, bool) {
 		return 0, false
 	}
 	return c.DepthOf(b.Hash())
+}
+
+// ContractOps counts the canonical-chain deployments of and calls to
+// the given contract addresses, served from the executor's contract-op
+// index — O(ops touching addrs), independent of chain height. Index
+// entries survive pruning for every block canonical in any live view,
+// so counts match a full-chain scan.
+func (c *Chain) ContractOps(addrs map[crypto.Address]bool) (deploys, calls int) {
+	for a := range addrs {
+		for _, ref := range c.exec.opIndex[a] {
+			if c.canonical[ref.height] != ref.block {
+				continue
+			}
+			if ref.call {
+				calls++
+			} else {
+				deploys++
+			}
+		}
+	}
+	return deploys, calls
 }
 
 // ContractAtDepth reads a contract's state as of the canonical block
@@ -361,7 +395,11 @@ func (c *Chain) BuildBlock(miner crypto.Address, time sim.Time, mempool []*Tx) (
 		time = parent.Header.Time
 	}
 	params := c.exec.params
-	st := c.exec.states[parent.Hash()].Child()
+	parentState, ok := c.exec.stateOf(parent.Hash())
+	if !ok {
+		panic(fmt.Sprintf("chain: no state for canonical tip %s", parent.Hash()))
+	}
+	st := parentState.Child()
 	height := parent.Header.Height + 1
 
 	coinbase := &Tx{
@@ -392,10 +430,12 @@ func (c *Chain) BuildBlock(miner crypto.Address, time sim.Time, mempool []*Tx) (
 			// state under construction.
 			trial := st.overlay()
 			if err := ApplyTx(trial, c.exec.reg, params.ID, height, time, tx); err != nil {
+				trial.recycle()
 				failed = append(failed, tx)
 				continue
 			}
 			st.absorb(trial)
+			trial.recycle()
 			txs = append(txs, tx)
 			progress = true
 		}

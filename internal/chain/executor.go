@@ -19,6 +19,18 @@ import (
 // success (a shared read-only child state) or failure (the cached
 // rejection) — to every replica view created with NewView.
 //
+// With Params.PruneDepth > 0 the executor additionally garbage-collects
+// ledger states: once a block is buried deeper than PruneDepth below
+// every live view's tip, its memoized *State is dropped, and index
+// entries of blocks canonical in no view go with it. A pruned state
+// read below the horizon is re-derived by replaying blocks from the
+// nearest retained ancestor state — the same determinism argument in
+// reverse. With Params.RetireDepth > 0 a second, much deeper sweep
+// releases whole blocks (bodies carry the SPV evidence blobs that
+// dominate memory at scale), pinning the canonical state at the retire
+// floor as the replay base — the pruned-full-node model: history below
+// the floor is gone, everything above it stays replayable. See ADR-007.
+//
 // The executor is deliberately lock-free: it inherits the simulation's
 // single-goroutine-per-world discipline (the engine's shards each own
 // their worlds outright), so sharing is free. Everything that makes
@@ -34,7 +46,35 @@ type Executor struct {
 	invalid map[crypto.Hash]error         // cached permanent rejections
 	txIndex map[crypto.Hash][]crypto.Hash // txid -> blocks containing it
 
+	// opIndex maps a contract address to the blocks whose transactions
+	// deployed or called it, so contract-activity accounting (grading)
+	// reads O(ops) instead of rescanning the whole canonical chain.
+	opIndex map[crypto.Address][]opRef
+
+	// Pruning machinery: every live view (NewView) registers here so
+	// the prune horizon can be computed as min(tip height) over views;
+	// byHeight drives the monotone sweeps from pruneFloor (states) and
+	// retireFloor (whole blocks) upward.
+	views      []*Chain
+	byHeight   map[uint64][]crypto.Hash
+	pruneFloor uint64
+
+	// History retirement (Params.RetireDepth): retireFloor is the
+	// lowest retained height (0 while retirement is disabled or hasn't
+	// advanced), ckpt the canonical block at that floor whose state is
+	// pinned as the replay base for everything above it.
+	retireFloor uint64
+	ckpt        crypto.Hash
+
 	stats ExecStats
+}
+
+// opRef locates one contract operation: the block carrying it and
+// whether it was a call (false = deploy).
+type opRef struct {
+	block  crypto.Hash
+	height uint64
+	call   bool
 }
 
 // ExecStats counts the executor's work. Hit rate quantifies how much
@@ -46,8 +86,23 @@ type ExecStats struct {
 	// committed via CommitBuilt — the build pass is their execution).
 	Executed uint64
 	// Hits counts Execute/CommitBuilt calls served from the memoized
-	// result — including cached rejections of invalid blocks.
+	// result — including cached rejections of invalid blocks and
+	// known-valid blocks whose state was pruned (the verdict is still
+	// cached even when the state has to be re-derived).
 	Hits uint64
+	// Pruned counts per-block states dropped by depth-based pruning.
+	Pruned uint64
+	// Replays counts ApplyBlock runs performed solely to re-derive a
+	// pruned state (excluded from Executed so accounting is identical
+	// with pruning on or off). Checkpoint advances during history
+	// retirement replay each block at most once more over its life.
+	Replays uint64
+	// Retired counts whole blocks released by history retirement
+	// (Params.RetireDepth).
+	Retired uint64
+	// StatesLive is the number of per-block states currently retained
+	// (a snapshot, filled by Stats).
+	StatesLive int
 }
 
 // NewExecutor builds a network's shared store with a deterministic
@@ -76,13 +131,15 @@ func NewExecutor(params Params, reg *vm.Registry, alloc GenesisAlloc) (*Executor
 		return nil, fmt.Errorf("chain: genesis invalid: %w", err)
 	}
 	e := &Executor{
-		params:  params,
-		reg:     reg,
-		genesis: genesis,
-		blocks:  make(map[crypto.Hash]*Block),
-		states:  make(map[crypto.Hash]*State),
-		invalid: make(map[crypto.Hash]error),
-		txIndex: make(map[crypto.Hash][]crypto.Hash),
+		params:   params,
+		reg:      reg,
+		genesis:  genesis,
+		blocks:   make(map[crypto.Hash]*Block),
+		states:   make(map[crypto.Hash]*State),
+		invalid:  make(map[crypto.Hash]error),
+		txIndex:  make(map[crypto.Hash][]crypto.Hash),
+		opIndex:  make(map[crypto.Address][]opRef),
+		byHeight: make(map[uint64][]crypto.Hash),
 	}
 	e.stats.Executed++
 	e.admit(genesis.Hash(), genesis, st)
@@ -91,15 +148,19 @@ func NewExecutor(params Params, reg *vm.Registry, alloc GenesisAlloc) (*Executor
 
 // NewView creates a replica view rooted at genesis. Views share the
 // executor's blocks and states but choose tips independently — two
-// views over one executor can sit on different forks.
+// views over one executor can sit on different forks. Each view also
+// pins the prune horizon: nothing is pruned above
+// min(view tips) − PruneDepth.
 func (e *Executor) NewView() *Chain {
 	gh := e.genesis.Hash()
-	return &Chain{
+	c := &Chain{
 		exec:      e,
 		have:      map[crypto.Hash]bool{gh: true},
 		tip:       e.genesis,
 		canonical: map[uint64]crypto.Hash{0: gh},
 	}
+	e.views = append(e.views, c)
+	return c
 }
 
 // Params returns the network's chain configuration.
@@ -112,7 +173,11 @@ func (e *Executor) Registry() *vm.Registry { return e.reg }
 func (e *Executor) Genesis() *Block { return e.genesis }
 
 // Stats returns the execution counters.
-func (e *Executor) Stats() ExecStats { return e.stats }
+func (e *Executor) Stats() ExecStats {
+	st := e.stats
+	st.StatesLive = len(e.states)
+	return st
+}
 
 // Block returns a valid block known to the network, from any fork.
 func (e *Executor) Block(h crypto.Hash) (*Block, bool) {
@@ -120,12 +185,51 @@ func (e *Executor) Block(h crypto.Hash) (*Block, bool) {
 	return b, ok
 }
 
-// StateOf returns the ledger state after a valid block. The state is
-// shared across every view — callers must treat it as read-only and
-// branch with Child() before mutating.
+// StateOf returns the ledger state after a valid block, re-deriving it
+// by replay if pruning dropped it. The state is shared across every
+// view — callers must treat it as read-only and branch with Child()
+// before mutating.
 func (e *Executor) StateOf(h crypto.Hash) (*State, bool) {
-	st, ok := e.states[h]
-	return st, ok
+	return e.stateOf(h)
+}
+
+// stateOf serves a per-block state, replaying from the nearest
+// retained ancestor state when the memoized one was pruned. The
+// genesis state is never pruned, so the ancestor walk terminates. The
+// re-derived endpoint is memoized again (it sits below the monotone
+// prune floor and is never re-swept); intermediate replay states are
+// not, so one deep read re-inserts at most one state.
+func (e *Executor) stateOf(h crypto.Hash) (*State, bool) {
+	if st, ok := e.states[h]; ok {
+		return st, true
+	}
+	b, ok := e.blocks[h]
+	if !ok {
+		return nil, false
+	}
+	var path []*Block
+	for cur := b; ; {
+		path = append(path, cur)
+		if st, ok := e.states[cur.Header.Parent]; ok {
+			for i := len(path) - 1; i >= 0; i-- {
+				next, err := ApplyBlock(st, e.reg, e.params, path[i])
+				if err != nil {
+					// Unreachable: every stored block was validated
+					// once, and replay is deterministic.
+					panic(fmt.Sprintf("chain: replay of valid block %s failed: %v", path[i].Hash(), err))
+				}
+				e.stats.Replays++
+				st = next
+			}
+			e.states[h] = st
+			return st, true
+		}
+		parent, ok := e.blocks[cur.Header.Parent]
+		if !ok {
+			return nil, false
+		}
+		cur = parent
+	}
 }
 
 // Execute validates b against its parent and memoizes the outcome.
@@ -144,6 +248,17 @@ func (e *Executor) Execute(b *Block) (*State, error) {
 		e.stats.Hits++
 		return nil, err
 	}
+	if _, ok := e.blocks[h]; ok {
+		// Known-valid block whose state was pruned: the verdict is
+		// still memoized, only the state needs re-deriving. Count a
+		// hit so Executed/Hits are identical with pruning on or off.
+		e.stats.Hits++
+		st, ok := e.stateOf(h)
+		if !ok {
+			return nil, blockErr("pruned block %s lost its ancestry", h)
+		}
+		return st, nil
+	}
 	parent, ok := e.blocks[b.Header.Parent]
 	if !ok {
 		return nil, blockErr("unknown parent %s", b.Header.Parent)
@@ -152,7 +267,11 @@ func (e *Executor) Execute(b *Block) (*State, error) {
 		e.invalid[h] = err
 		return nil, err
 	}
-	st, err := ApplyBlock(e.states[b.Header.Parent], e.reg, e.params, b)
+	ps, ok := e.stateOf(b.Header.Parent)
+	if !ok {
+		return nil, blockErr("no state for parent %s", b.Header.Parent)
+	}
+	st, err := ApplyBlock(ps, e.reg, e.params, b)
 	e.stats.Executed++
 	if err != nil {
 		e.invalid[h] = err
@@ -179,6 +298,12 @@ func (e *Executor) CommitBuilt(b *Block, built *State) error {
 		e.stats.Hits++
 		return err
 	}
+	if _, ok := e.blocks[h]; ok {
+		// Already admitted, state since pruned — a cache hit; the
+		// caller does not need the state back.
+		e.stats.Hits++
+		return nil
+	}
 	if _, ok := e.blocks[b.Header.Parent]; !ok {
 		return blockErr("unknown parent %s", b.Header.Parent)
 	}
@@ -201,12 +326,189 @@ func checkLinkage(b, parent *Block) error {
 	return nil
 }
 
-// admit records a validated block, its state, and its transactions.
+// admit records a validated block, its state, its transactions, and
+// its contract operations.
 func (e *Executor) admit(h crypto.Hash, b *Block, st *State) {
 	e.blocks[h] = b
 	e.states[h] = st
+	height := b.Header.Height
+	e.byHeight[height] = append(e.byHeight[height], h)
 	for _, tx := range b.Txs {
 		id := tx.ID()
 		e.txIndex[id] = append(e.txIndex[id], h)
+		switch tx.Kind {
+		case TxDeploy:
+			addr := tx.ContractAddr()
+			e.opIndex[addr] = append(e.opIndex[addr], opRef{block: h, height: height, call: false})
+		case TxCall:
+			e.opIndex[tx.Contract] = append(e.opIndex[tx.Contract], opRef{block: h, height: height, call: true})
+		}
+	}
+}
+
+// prune advances the state-GC sweep. The horizon is
+// min(tip height over all views) − PruneDepth: a state above it may
+// still be a reorg pivot for some replica; a state below it is
+// reachable only through a reorg deeper than PruneDepth, which the
+// replay path handles. The sweep cursor pruneFloor is monotone, so
+// each height is visited once and the per-block cost is amortized
+// O(1). Block bodies, headers, and verdicts are never pruned; the
+// genesis state is retained as the replay base of last resort. Index
+// entries (tx→block, contract ops) of swept blocks canonical in no
+// view are dropped with the states.
+func (e *Executor) prune() {
+	d := e.params.PruneDepth
+	if d <= 0 || len(e.views) == 0 {
+		return
+	}
+	minTip := e.views[0].tip.Header.Height
+	for _, v := range e.views[1:] {
+		if h := v.tip.Header.Height; h < minTip {
+			minTip = h
+		}
+	}
+	if minTip <= uint64(d) {
+		return
+	}
+	horizon := minTip - uint64(d)
+	for height := e.pruneFloor; height < horizon; height++ {
+		hashes, ok := e.byHeight[height]
+		if !ok {
+			continue
+		}
+		for _, bh := range hashes {
+			if height > 0 {
+				if _, live := e.states[bh]; live {
+					delete(e.states, bh)
+					e.stats.Pruned++
+				}
+			}
+			if e.deadFork(bh, height) {
+				e.dropBlockIndexes(bh)
+			}
+		}
+	}
+	e.pruneFloor = horizon
+	e.retire(minTip)
+}
+
+// retire advances the history-GC sweep (Params.RetireDepth): whole
+// blocks below the retire horizon are released — bodies, headers, index
+// entries, and every view's have/canonical records — after the
+// canonical state at the new floor is pinned as the replay base. This
+// is the pruned-full-node model: anything at or above the floor is
+// replayable (bodies + pinned checkpoint state), anything below it is
+// gone, and a reorg attempting to cross the floor is rejected as an
+// unknown parent. The genesis block is exempt (it anchors chain
+// identity and deterministic reconstruction).
+func (e *Executor) retire(minTip uint64) {
+	rd := e.params.RetireDepth
+	if rd <= 0 || minTip <= uint64(rd) {
+		return
+	}
+	horizon := minTip - uint64(rd)
+	if horizon <= e.retireFloor {
+		return
+	}
+	// Every view must agree on the canonical block at the new floor.
+	// RetireDepth exceeding every plausible reorg makes disagreement
+	// pathological; if it happens anyway, retirement stalls (safe)
+	// rather than guessing.
+	ck, ok := e.views[0].canonical[horizon]
+	if !ok {
+		return
+	}
+	for _, v := range e.views[1:] {
+		if v.canonical[horizon] != ck {
+			return
+		}
+	}
+	// Pin the checkpoint state while the bodies below it still exist:
+	// stateOf replays forward from the previous checkpoint (or
+	// genesis), so each block is replayed at most once more, ever.
+	if _, ok := e.stateOf(ck); !ok {
+		return
+	}
+	for height := e.retireFloor; height < horizon; height++ {
+		if height == 0 {
+			continue
+		}
+		for _, bh := range e.byHeight[height] {
+			if _, live := e.states[bh]; live {
+				// The previous checkpoint and memoized deep-read
+				// endpoints live below the prune floor; they die here.
+				delete(e.states, bh)
+				e.stats.Pruned++
+			}
+			e.dropBlockIndexes(bh)
+			delete(e.blocks, bh)
+			e.stats.Retired++
+			for _, v := range e.views {
+				delete(v.have, bh)
+			}
+		}
+		delete(e.byHeight, height)
+		for _, v := range e.views {
+			delete(v.canonical, height)
+		}
+	}
+	e.ckpt = ck
+	e.retireFloor = horizon
+}
+
+// deadFork reports whether the block is canonical in no live view —
+// only then may its index entries be dropped (FindTx and contract-op
+// accounting serve canonical history forever).
+func (e *Executor) deadFork(bh crypto.Hash, height uint64) bool {
+	for _, v := range e.views {
+		if v.canonical[height] == bh {
+			return false
+		}
+	}
+	return true
+}
+
+// dropBlockIndexes removes a dead fork block's tx→block and
+// contract-op index entries. The block itself stays (re-announcement
+// must still hit the verdict cache).
+func (e *Executor) dropBlockIndexes(bh crypto.Hash) {
+	b := e.blocks[bh]
+	for _, tx := range b.Txs {
+		id := tx.ID()
+		refs := e.txIndex[id]
+		for i, r := range refs {
+			if r == bh {
+				refs = append(refs[:i], refs[i+1:]...)
+				break
+			}
+		}
+		if len(refs) == 0 {
+			delete(e.txIndex, id)
+		} else {
+			e.txIndex[id] = refs
+		}
+		switch tx.Kind {
+		case TxDeploy:
+			e.dropOpRef(tx.ContractAddr(), bh)
+		case TxCall:
+			e.dropOpRef(tx.Contract, bh)
+		}
+	}
+}
+
+// dropOpRef removes one opIndex reference to block bh (order
+// preserved; one per call matches one per admit append).
+func (e *Executor) dropOpRef(addr crypto.Address, bh crypto.Hash) {
+	refs := e.opIndex[addr]
+	for i, r := range refs {
+		if r.block == bh {
+			refs = append(refs[:i], refs[i+1:]...)
+			break
+		}
+	}
+	if len(refs) == 0 {
+		delete(e.opIndex, addr)
+	} else {
+		e.opIndex[addr] = refs
 	}
 }

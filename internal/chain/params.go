@@ -51,6 +51,27 @@ type Params struct {
 	// BlockReward is the coinbase subsidy minted to the miner of each
 	// block ("new bitcoins are generated ... through mining").
 	BlockReward vm.Amount
+
+	// PruneDepth is the executor's state-GC horizon: per-block ledger
+	// states buried deeper than PruneDepth below *every* live view's
+	// tip are dropped and re-derived by replay on the rare deep read.
+	// 0 disables pruning (retain every state forever, the pre-GC
+	// behavior). When enabled it must clear ConfirmDepth, or stability
+	// reads at depth d would replay on every call.
+	PruneDepth int
+
+	// RetireDepth is the executor's history-GC horizon: whole blocks
+	// (bodies, headers, and their index entries) buried deeper than
+	// RetireDepth below every live view's tip are released outright,
+	// after the canonical state at the new floor is pinned as the
+	// replay base — the pruned-full-node model. Retired history is
+	// gone: FindTx misses, StateAt returns false, and a reorg past the
+	// floor is rejected, so RetireDepth must exceed any plausible
+	// reorg AND the block-count lifetime of a transaction (watch,
+	// resubmit, and evidence windows all read recent history only).
+	// 0 disables retirement; enabling it requires PruneDepth > 0 and
+	// RetireDepth > PruneDepth.
+	RetireDepth int
 }
 
 // Validate reports configuration errors early.
@@ -66,6 +87,16 @@ func (p Params) Validate() error {
 		return fmt.Errorf("chain %s: MaxBlockTxs must be positive", p.ID)
 	case p.ConfirmDepth < 0:
 		return fmt.Errorf("chain %s: ConfirmDepth must be non-negative", p.ID)
+	case p.PruneDepth < 0:
+		return fmt.Errorf("chain %s: PruneDepth must be non-negative (0 disables pruning)", p.ID)
+	case p.PruneDepth > 0 && p.PruneDepth <= p.ConfirmDepth:
+		return fmt.Errorf("chain %s: PruneDepth %d must exceed ConfirmDepth %d", p.ID, p.PruneDepth, p.ConfirmDepth)
+	case p.RetireDepth < 0:
+		return fmt.Errorf("chain %s: RetireDepth must be non-negative (0 disables history retirement)", p.ID)
+	case p.RetireDepth > 0 && p.PruneDepth == 0:
+		return fmt.Errorf("chain %s: RetireDepth %d requires state pruning (PruneDepth > 0)", p.ID, p.RetireDepth)
+	case p.RetireDepth > 0 && p.RetireDepth <= p.PruneDepth:
+		return fmt.Errorf("chain %s: RetireDepth %d must exceed PruneDepth %d", p.ID, p.RetireDepth, p.PruneDepth)
 	}
 	return nil
 }

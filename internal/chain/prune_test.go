@@ -1,0 +1,228 @@
+package chain
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/sim"
+)
+
+// pruneParams returns the executor-GC test configuration: a prune
+// horizon of 8 (clearing the default ConfirmDepth 6) and optional
+// history retirement.
+func pruneParams(prune, retire int) Params {
+	p := DefaultParams("prunenet")
+	p.DifficultyBits = 8
+	p.PruneDepth = prune
+	p.RetireDepth = retire
+	return p
+}
+
+// mineChain extends view v with n empty blocks and returns them.
+func mineChain(t *testing.T, v *Chain, miner crypto.Address, n int, from sim.Time) []*Block {
+	t.Helper()
+	blocks := make([]*Block, n)
+	for i := range blocks {
+		blocks[i] = mineOn(t, v, miner, from+sim.Time(i+1)*10)
+	}
+	return blocks
+}
+
+// TestPruneDropsBuriedStates pins the tentpole's memory claim: with
+// PruneDepth set, states buried deeper than the horizon below the tip
+// are dropped (Pruned counts them, StatesLive stays bounded), while a
+// deep read below the horizon transparently re-derives the state by
+// replay — and the replayed state is the one ApplyBlock produced.
+func TestPruneDropsBuriedStates(t *testing.T) {
+	rng := sim.NewRNG(90)
+	key := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+	miner := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+	exec, err := NewExecutor(pruneParams(8, 0), nil, GenesisAlloc{key.Addr: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := exec.NewView()
+	blocks := mineChain(t, v, miner.Addr, 40, 0)
+
+	st := exec.Stats()
+	if st.Pruned == 0 {
+		t.Fatalf("no states pruned after 40 blocks at horizon 8: %+v", st)
+	}
+	// Retained: horizon window + genesis (the replay base).
+	if st.StatesLive > 8+2 {
+		t.Fatalf("StatesLive = %d, want <= %d", st.StatesLive, 8+2)
+	}
+	// The state of a deeply buried block was pruned...
+	deep := blocks[4] // height 5, far below horizon 40-8=32
+	if _, live := exec.states[deep.Hash()]; live {
+		t.Fatalf("state at height %d survived pruning", deep.Header.Height)
+	}
+	// ...but reads re-derive it by replay, and the result is exactly
+	// the ApplyBlock verdict (same total value as an unpruned replica).
+	replayed, ok := v.StateAt(deep.Hash())
+	if !ok {
+		t.Fatal("StateAt below the prune horizon failed")
+	}
+	if got := exec.Stats(); got.Replays == 0 {
+		t.Fatalf("deep read did not replay: %+v", got)
+	}
+	wantValue := uint64(100_000) + uint64(deep.Header.Height)*uint64(exec.Params().BlockReward)
+	if uint64(replayed.TotalValue()) != wantValue {
+		t.Fatalf("replayed state TotalValue = %d, want %d", replayed.TotalValue(), wantValue)
+	}
+	// Executed counts no replay work: accounting is identical with
+	// pruning on or off.
+	if got := exec.Stats(); got.Executed != uint64(len(blocks))+1 {
+		t.Fatalf("Executed = %d, want %d (replays must not count)", got.Executed, len(blocks)+1)
+	}
+}
+
+// TestDeepReorgAcrossPruneHorizon is the tentpole's correctness
+// regression: a fork branching below the prune horizon overtakes the
+// canonical chain. The pruning executor must re-derive the fork
+// point's state by replay and reach verdicts — tip, reorg accounting,
+// execution counts, and ledger totals — identical to an executor that
+// never pruned anything.
+func TestDeepReorgAcrossPruneHorizon(t *testing.T) {
+	rng := sim.NewRNG(91)
+	key := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+	miner := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+	alloc := GenesisAlloc{key.Addr: 100_000}
+
+	// One scratch chain builds the shared 40-block main line; a second,
+	// forked at height 28, builds a 15-block overtaking branch.
+	scratch, err := NewChain(pruneParams(0, 0), nil, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := mineChain(t, scratch, miner.Addr, 40, 0)
+
+	forker, err := NewChain(pruneParams(0, 0), nil, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range main[:28] {
+		if _, err := forker.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fork := mineChain(t, forker, key.Addr, 15, 10_000) // heights 29..43
+
+	// Twin executors consume the identical stream; only GC differs.
+	pruned, err := NewExecutor(pruneParams(8, 0), nil, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewExecutor(pruneParams(0, 0), nil, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, vf := pruned.NewView(), full.NewView()
+	for _, b := range append(append([]*Block{}, main...), fork...) {
+		if _, err := vp.AddBlock(b); err != nil {
+			t.Fatalf("pruned executor rejected block at height %d: %v", b.Header.Height, err)
+		}
+		if _, err := vf.AddBlock(b); err != nil {
+			t.Fatalf("full executor rejected block at height %d: %v", b.Header.Height, err)
+		}
+	}
+
+	if pruned.Stats().Pruned == 0 || pruned.Stats().Replays == 0 {
+		t.Fatalf("fork below the horizon exercised no pruning/replay: %+v", pruned.Stats())
+	}
+	if full.Stats().Pruned != 0 || full.Stats().Replays != 0 {
+		t.Fatalf("unpruned executor pruned/replayed: %+v", full.Stats())
+	}
+	// Identical verdicts everywhere it counts.
+	if vp.Tip().Hash() != vf.Tip().Hash() {
+		t.Fatalf("tips diverge: pruned %s vs full %s", vp.Tip().Hash(), vf.Tip().Hash())
+	}
+	if vp.Tip().Hash() != fork[len(fork)-1].Hash() {
+		t.Fatal("overtaking fork did not become the tip")
+	}
+	if vp.Reorgs != vf.Reorgs || vp.MaxReorgDepth != vf.MaxReorgDepth {
+		t.Fatalf("reorg accounting diverges: %d/%d vs %d/%d",
+			vp.Reorgs, vp.MaxReorgDepth, vf.Reorgs, vf.MaxReorgDepth)
+	}
+	sp, sf := pruned.Stats(), full.Stats()
+	if sp.Executed != sf.Executed || sp.Hits != sf.Hits {
+		t.Fatalf("execution accounting diverges: Executed %d/%d, Hits %d/%d",
+			sp.Executed, sf.Executed, sp.Hits, sf.Hits)
+	}
+	if vp.TipState().TotalValue() != vf.TipState().TotalValue() {
+		t.Fatalf("ledger totals diverge: %d vs %d",
+			vp.TipState().TotalValue(), vf.TipState().TotalValue())
+	}
+}
+
+// TestRetireReleasesHistory pins the history-GC tier: with RetireDepth
+// set, whole blocks below the retire floor are released (bodies,
+// index entries, view records), genesis survives as the identity
+// anchor, and everything at or above the floor stays replayable
+// through the pinned checkpoint state.
+func TestRetireReleasesHistory(t *testing.T) {
+	rng := sim.NewRNG(92)
+	key := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+	miner := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
+	exec, err := NewExecutor(pruneParams(8, 20), nil, GenesisAlloc{key.Addr: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := exec.NewView()
+
+	// A spend mined early, then 60 empty blocks to push it far below
+	// the retire floor (60 - 20 = 40).
+	tx := mustTransfer(t, v, key, 1, 5_000)
+	spendBlock := mineOn(t, v, miner.Addr, 10, tx)
+	blocks := mineChain(t, v, miner.Addr, 60, 10)
+
+	st := exec.Stats()
+	if st.Retired == 0 {
+		t.Fatalf("no blocks retired after 61 blocks at retire depth 20: %+v", st)
+	}
+	// Retired history is gone from every surface.
+	if _, ok := v.Block(spendBlock.Hash()); ok {
+		t.Fatal("retired block still served")
+	}
+	if _, _, found := v.FindTx(tx.ID()); found {
+		t.Fatal("retired transaction still indexed")
+	}
+	if _, ok := v.CanonicalAt(spendBlock.Header.Height); ok {
+		t.Fatal("retired height still canonical")
+	}
+	if _, ok := v.StateAt(spendBlock.Hash()); ok {
+		t.Fatal("retired state still readable")
+	}
+	// Genesis survives retirement as the chain-identity anchor.
+	if _, ok := v.Block(v.Genesis().Hash()); !ok {
+		t.Fatal("genesis retired")
+	}
+	// Everything at/above the retire floor is replayable: a read
+	// between the floor and the prune horizon replays forward from the
+	// pinned checkpoint, with the effects of all retired history (the
+	// early spend included) intact.
+	tip := v.Tip().Header.Height
+	midBlock, ok := v.CanonicalAt(tip - 15)
+	if !ok {
+		t.Fatal("height above the retire floor lost its canonical record")
+	}
+	mid, ok := v.StateAt(midBlock.Hash())
+	if !ok {
+		t.Fatal("state above the retire floor not re-derivable")
+	}
+	wantValue := uint64(100_000) + uint64(tip-15)*uint64(exec.Params().BlockReward)
+	if uint64(mid.TotalValue()) != wantValue {
+		t.Fatalf("replayed mid state TotalValue = %d, want %d", mid.TotalValue(), wantValue)
+	}
+	// The floor is monotone: more mining advances it and retires more.
+	before := exec.Stats().Retired
+	mineChain(t, v, miner.Addr, 20, 10_000)
+	if exec.Stats().Retired <= before {
+		t.Fatalf("retire floor did not advance: %d -> %d", before, exec.Stats().Retired)
+	}
+	// A recent block (within every horizon) keeps full service.
+	recent := blocks[len(blocks)-1]
+	if _, ok := v.Block(recent.Hash()); !ok {
+		t.Fatal("recent block lost")
+	}
+}

@@ -1,6 +1,8 @@
 package chain
 
 import (
+	"sync"
+
 	"repro/internal/crypto"
 	"repro/internal/vm"
 )
@@ -24,10 +26,31 @@ type State struct {
 	contracts map[crypto.Address]vm.Contract
 	balances  map[crypto.Address]vm.Amount
 	hasBal    map[crypto.Address]bool
+
+	// byOwner indexes the live outputs of *base* layers (parent == nil)
+	// by owner, so wallet reads (UTXOsOwnedBy, and through it
+	// SelectFunds/Balance on every client call) cost O(owned) instead
+	// of O(UTXO set). The index is lazy per owner: an address is
+	// indexed on its first UTXOsOwnedBy query (one scan, memoized) and
+	// kept current by AddUTXO/Spend afterwards; flatten carries only
+	// the queried owners forward. Most outputs are coinbase rewards of
+	// miner addresses no wallet ever queries — indexing them too made
+	// the index rival the UTXO set itself for memory at 100k-AC2T
+	// scale. Overlay layers stay unindexed — they are small and
+	// short-lived. nil means unindexed (overlay, or pre-index base).
+	byOwner map[crypto.Address]map[OutPoint]struct{}
 }
 
-// NewState returns an empty base state.
-func NewState() *State {
+// statePool recycles overlay layers. Block building churns through one
+// trial overlay per candidate transaction (discarded on failure,
+// absorbed and discarded on success), which at 100k+ AC2Ts dominates
+// the allocation profile; recycling the five little maps keeps
+// allocs-per-AC2T flat. Only provably unshared layers may be recycled
+// — states admitted to an executor are shared across views and must
+// never re-enter the pool.
+var statePool = sync.Pool{New: func() any { return newStateMaps() }}
+
+func newStateMaps() *State {
 	return &State{
 		utxos:     make(map[OutPoint]TxOut),
 		spent:     make(map[OutPoint]bool),
@@ -35,6 +58,27 @@ func NewState() *State {
 		balances:  make(map[crypto.Address]vm.Amount),
 		hasBal:    make(map[crypto.Address]bool),
 	}
+}
+
+// recycle clears s and returns it to the pool. The caller asserts it
+// holds the last reference (true for BuildBlock trial overlays and for
+// ApplyBlock's error-path scratch child — both are invisible outside
+// the call that created them).
+func (s *State) recycle() {
+	s.parent = nil
+	s.depth = 0
+	clear(s.utxos)
+	clear(s.spent)
+	clear(s.contracts)
+	clear(s.balances)
+	clear(s.hasBal)
+	s.byOwner = nil
+	statePool.Put(s)
+}
+
+// NewState returns an empty base state.
+func NewState() *State {
+	return newStateMaps()
 }
 
 // Child returns a fresh overlay on top of s. When the overlay chain
@@ -50,9 +94,10 @@ func (s *State) Child() *State {
 // overlay returns a direct child layer unconditionally — no flatten
 // check. Block building uses it for per-transaction trial layers,
 // which are either discarded (the transaction failed) or folded back
-// into s with absorb, so they must never turn into deep copies.
+// into s with absorb, so they must never turn into deep copies. The
+// layer comes from statePool; recycle() returns it.
 func (s *State) overlay() *State {
-	c := NewState()
+	c := statePool.Get().(*State)
 	c.parent = s
 	c.depth = s.depth + 1
 	return c
@@ -96,7 +141,13 @@ func (s *State) flatten() *State {
 			out.spent[op] = true
 		}
 		for a, c := range layer.contracts {
-			out.contracts[a] = c.Clone()
+			// Share the object, don't clone: contract objects are
+			// immutable once written to a layer (every mutation path
+			// goes through ContractForWrite's copy-on-write clone), so
+			// bases may alias them. Cloning here duplicated the whole
+			// contract table on every flatten — at 100k-AC2T scale the
+			// dominant churn in both bytes and time.
+			out.contracts[a] = c
 		}
 		for a, b := range layer.balances {
 			out.balances[a] = b
@@ -105,7 +156,36 @@ func (s *State) flatten() *State {
 	}
 	// The flattened map needs no tombstones of its own.
 	out.spent = make(map[OutPoint]bool)
+	// New base layer: re-index only the owners wallet reads have
+	// actually queried on the old base (the lazy-index hot set), not
+	// every address that ever received a coinbase. AddUTXO/Spend keep
+	// the carried entries current through later in-place mutation
+	// (block builds and absorb operate on the layer that owns the
+	// entry); a dropped owner is simply re-scanned on its next query.
+	out.byOwner = make(map[crypto.Address]map[OutPoint]struct{})
+	var hot map[crypto.Address]map[OutPoint]struct{}
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.parent == nil {
+			hot = cur.byOwner
+		}
+	}
+	if len(hot) > 0 {
+		for op, o := range out.utxos {
+			if _, queried := hot[o.Owner]; queried {
+				out.indexOwned(o.Owner, op)
+			}
+		}
+	}
 	return out
+}
+
+func (s *State) indexOwned(owner crypto.Address, op OutPoint) {
+	m := s.byOwner[owner]
+	if m == nil {
+		m = make(map[OutPoint]struct{})
+		s.byOwner[owner] = m
+	}
+	m[op] = struct{}{}
 }
 
 // UTXO looks up an unspent output.
@@ -121,14 +201,24 @@ func (s *State) UTXO(op OutPoint) (TxOut, bool) {
 	return TxOut{}, false
 }
 
-// AddUTXO records a new unspent output.
+// AddUTXO records a new unspent output. Only owners already present
+// in the lazy index are maintained — an unqueried owner's entry is
+// built on its first UTXOsOwnedBy call instead.
 func (s *State) AddUTXO(op OutPoint, out TxOut) {
 	delete(s.spent, op)
 	s.utxos[op] = out
+	if m := s.byOwner[out.Owner]; m != nil {
+		m[op] = struct{}{}
+	}
 }
 
 // Spend marks an output spent. The caller must have checked existence.
 func (s *State) Spend(op OutPoint) {
+	if s.byOwner != nil {
+		if o, ok := s.utxos[op]; ok {
+			delete(s.byOwner[o.Owner], op)
+		}
+	}
 	delete(s.utxos, op)
 	s.spent[op] = true
 }
@@ -181,12 +271,42 @@ func (s *State) SetBalance(addr crypto.Address, v vm.Amount) {
 	s.hasBal[addr] = true
 }
 
-// UTXOsOwnedBy scans the full state for outputs owned by addr. It is
-// a test/client convenience (wallets), not a consensus operation.
+// UTXOsOwnedBy collects the outputs owned by addr. Overlay layers are
+// scanned linearly (they are small and bounded by flattenDepth); an
+// indexed base layer is read through byOwner, so wallet reads stay
+// O(owned + overlay deltas) rather than O(UTXO set). It is a
+// test/client convenience (wallets), not a consensus operation.
 func (s *State) UTXOsOwnedBy(addr crypto.Address) map[OutPoint]TxOut {
 	out := make(map[OutPoint]TxOut)
 	seen := make(map[OutPoint]bool)
 	for cur := s; cur != nil; cur = cur.parent {
+		if cur.parent == nil && cur.byOwner != nil {
+			// Indexed base: exactly the live base outputs of addr,
+			// masked by the overlay deltas already folded into seen.
+			m, ok := cur.byOwner[addr]
+			if !ok {
+				// First query for addr on this base: build its slice
+				// of the lazy index with one scan and memoize it
+				// (including the empty result). Worlds drive a chain
+				// from a single goroutine, so read-path memoization
+				// on the shared base is safe.
+				m = make(map[OutPoint]struct{})
+				for op, o := range cur.utxos {
+					if o.Owner == addr {
+						m[op] = struct{}{}
+					}
+				}
+				cur.byOwner[addr] = m
+			}
+			for op := range m {
+				if seen[op] {
+					continue
+				}
+				seen[op] = true
+				out[op] = cur.utxos[op]
+			}
+			break
+		}
 		for op := range cur.spent {
 			if !seen[op] {
 				seen[op] = true

@@ -72,6 +72,21 @@ func (t *Trent) Crash() { t.crashed = true }
 // Recover brings Trent back; his store (durable) is intact.
 func (t *Trent) Recover() { t.crashed = false }
 
+// Close releases Trent's chain clients and store once his AC2T is
+// graded (engine retirement). Trent's clients never arm watches —
+// contract verification is a direct stable-state read — so closing
+// them schedules nothing and is invisible to event ordering; it only
+// lets a per-transaction witness become garbage. Close is terminal:
+// the witness also crash-stops so any stray request goes unanswered.
+func (t *Trent) Close() {
+	t.crashed = true
+	for _, c := range t.clients {
+		c.Close()
+	}
+	t.clients = nil
+	t.store = nil
+}
+
 // Register stores ms(D) if not registered before; cb receives the
 // outcome. All methods respond asynchronously after the RPC latency.
 func (t *Trent) Register(g *graph.Graph, ms *crypto.MultiSig, cb func(error)) {

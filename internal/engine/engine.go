@@ -27,7 +27,6 @@ package engine
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/metrics"
@@ -58,6 +57,38 @@ type Config struct {
 	// trace.DefaultRingCap). Small caps bound memory on huge runs at
 	// the price of exporting only the most recent records per shard.
 	TraceRingCap int
+	// PruneDepth sets the chain executors' state-GC horizon: per-block
+	// ledger states buried deeper than this below every node view's
+	// tip are dropped and re-derived by replay if ever read again.
+	// 0 selects the engine default (enginePruneDepth); negative
+	// disables pruning (retain every state, the pre-GC behavior).
+	// Pruning never changes results — aggregates and traces are
+	// byte-identical either way — only memory.
+	PruneDepth int
+}
+
+// enginePruneDepth is the default state-GC horizon. It must exceed
+// every depth the system routinely reads after the fact: the deepest
+// confirmation depth in use (engineChainSpec sets 2), the AC3WN SPV
+// checkpoint distance (core.DefaultStableDepth, 30), and the deepest
+// reorg the adversity scenarios have produced (36, PR 5). It is
+// deliberately *below* the overlay flatten interval (48): retained
+// states then span at most two flattened base generations, so at most
+// two full ledger base maps coexist on the tip side — one fewer
+// resident copy of the whole UTXO set at 100k-AC2T scale. Deeper
+// reads remain correct via replay, just not free.
+const enginePruneDepth = 40
+
+// pruneDepth resolves the configured horizon.
+func (cfg Config) pruneDepth() int {
+	switch {
+	case cfg.PruneDepth < 0:
+		return 0 // disabled
+	case cfg.PruneDepth == 0:
+		return enginePruneDepth
+	default:
+		return cfg.PruneDepth
+	}
 }
 
 // Engine partitions and executes a workload.
@@ -113,10 +144,12 @@ type Aggregate struct {
 	ScenariosDowngraded int `json:"scenarios_downgraded"`
 
 	// LatencyMs is the virtual commit-latency histogram across all
-	// graded transactions.
+	// graded transactions — the engine's only latency record; no
+	// per-tx samples are retained, so memory stays flat in tx count.
 	LatencyMs metrics.HistSnapshot `json:"latency_ms"`
-	// Percentiles over all shard latencies, virtual ms. P50/95/99/999
-	// are exact (computed from the merged, sorted per-shard samples).
+	// Percentiles over all shard latencies, virtual ms, interpolated
+	// from the histogram (deterministic integer arithmetic; accuracy
+	// bounded by the latencyBounds bucket ladder).
 	LatencyP50Ms  int64 `json:"latency_p50_ms"`
 	LatencyP95Ms  int64 `json:"latency_p95_ms"`
 	LatencyP99Ms  int64 `json:"latency_p99_ms"`
@@ -158,6 +191,17 @@ type Aggregate struct {
 	// result cache; ExecHitRate is hits/(hits+executed).
 	BlockExecHits uint64  `json:"block_exec_cache_hits"`
 	ExecHitRate   float64 `json:"exec_cache_hit_rate"`
+	// Executor state-GC accounting summed across shards: states pruned
+	// past the horizon, states still live at shard end, ApplyBlock
+	// replays run to re-derive a pruned state, and whole blocks
+	// released by history retirement. Deterministic (and
+	// byte-compared); wall-clock memory numbers (peak RSS, allocs per
+	// AC2T) deliberately stay out of the aggregate — see cmd/ac3engine
+	// stderr diagnostics and the bench snapshot scale rungs.
+	StatesPruned  uint64 `json:"states_pruned"`
+	StatesLive    int    `json:"states_live"`
+	StateReplays  uint64 `json:"state_replays"`
+	BlocksRetired uint64 `json:"blocks_retired"`
 	// BlocksExecutedPerTx is BlocksExecuted divided by graded
 	// transactions — the block-execution cost of settling one AC2T,
 	// the budget the CI bench smoke enforces.
@@ -250,7 +294,7 @@ func (e *Engine) Run() (*Aggregate, error) {
 				if recs != nil {
 					rec = recs[idx]
 				}
-				results[idx], errs[idx] = runShard(s, idx, seeds[idx], cfg.Workload, txs[idx], e.col, rec)
+				results[idx], errs[idx] = runShard(s, idx, seeds[idx], cfg.Workload, txs[idx], cfg.pruneDepth(), e.col, rec)
 			}
 		}()
 	}
@@ -278,7 +322,6 @@ func (e *Engine) assemble(results []*ShardResult, recs []*trace.Recorder) *Aggre
 		ByScenario: make(map[Scenario]ScenarioStats),
 		LatencyMs:  e.col.latency.Snapshot(),
 	}
-	var all []int64
 	for _, r := range results {
 		agg.Graded += r.Graded
 		agg.Commits += r.Commits
@@ -298,6 +341,10 @@ func (e *Engine) assemble(results []*ShardResult, recs []*trace.Recorder) *Aggre
 			agg.MaxReorgDepth = r.MaxReorgDepth
 		}
 		agg.MsgsDropped += r.MsgsDropped
+		agg.StatesPruned += r.StatesPruned
+		agg.StatesLive += r.StatesLive
+		agg.StateReplays += r.StateReplays
+		agg.BlocksRetired += r.BlocksRetired
 		if r.MakespanVirtualMs > agg.MakespanVirtualMs {
 			agg.MakespanVirtualMs = r.MakespanVirtualMs
 		}
@@ -306,14 +353,14 @@ func (e *Engine) assemble(results []*ShardResult, recs []*trace.Recorder) *Aggre
 			cur.merge(&st)
 			agg.ByScenario[sc] = cur
 		}
-		all = append(all, r.latencies...)
 		agg.PerShard = append(agg.PerShard, *r)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	agg.LatencyP50Ms = permille(all, 500)
-	agg.LatencyP95Ms = permille(all, 950)
-	agg.LatencyP99Ms = permille(all, 990)
-	agg.LatencyP999Ms = permille(all, 999)
+	// Percentiles straight from the streamed histogram — no merged
+	// sample slice exists anymore.
+	agg.LatencyP50Ms = agg.LatencyMs.Quantile(0.50)
+	agg.LatencyP95Ms = agg.LatencyMs.Quantile(0.95)
+	agg.LatencyP99Ms = agg.LatencyMs.Quantile(0.99)
+	agg.LatencyP999Ms = agg.LatencyMs.Quantile(0.999)
 
 	// Per-phase latency table: fold per-shard histograms (Hist.Merge
 	// is commutative, so map iteration order cannot matter), then emit
@@ -365,20 +412,4 @@ func (e *Engine) assemble(results []*ShardResult, recs []*trace.Recorder) *Aggre
 		agg.ExecHitRate = float64(agg.BlockExecHits) / float64(total)
 	}
 	return agg
-}
-
-// permille returns the p‰ quantile of sorted samples (nearest rank;
-// 0 when empty). p50 is permille(s, 500), p99.9 is permille(s, 999).
-func permille(sorted []int64, p int) int64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := (p*len(sorted) + 999) / 1000
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
 }

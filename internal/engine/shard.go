@@ -90,10 +90,11 @@ type txState struct {
 // shards, never inside one — so a shard is a pure function of
 // (seed, workload, txCount).
 type shardExec struct {
-	idx  int
-	seed uint64
-	wl   Workload
-	col  *Collector
+	idx   int
+	seed  uint64
+	wl    Workload
+	prune int // executor state-GC horizon (0 = retain everything)
+	col   *Collector
 
 	s        *sim.Sim
 	w        *xchain.World
@@ -141,17 +142,18 @@ func (e *shardExec) sampleCounters() worldCounters {
 
 // runShard executes txCount transactions on a world derived from
 // seed, reusing (and Reset-ing) the provided simulator.
-func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *Collector, rec *trace.Recorder) (*ShardResult, error) {
+func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount, prune int, col *Collector, rec *trace.Recorder) (*ShardResult, error) {
 	s.Reset(seed)
 	e := &shardExec{
-		idx:  idx,
-		seed: seed,
-		wl:   wl,
-		col:  col,
-		s:    s,
-		txs:  make([]txState, txCount),
-		res:  &ShardResult{Shard: idx, Seed: seed, Txs: txCount, ByScenario: make(map[Scenario]ScenarioStats)},
-		rec:  rec,
+		idx:   idx,
+		seed:  seed,
+		wl:    wl,
+		prune: prune,
+		col:   col,
+		s:     s,
+		txs:   make([]txState, txCount),
+		res:   &ShardResult{Shard: idx, Seed: seed, Txs: txCount, ByScenario: make(map[Scenario]ScenarioStats)},
+		rec:   rec,
 	}
 	if err := e.buildWorld(txCount); err != nil {
 		return nil, err
@@ -183,6 +185,12 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *C
 		e.res.BlocksExecuted += st.Executed
 		e.res.BlockExecHits += st.Hits
 		e.res.BlocksMined += net.BlocksMined()
+		// State-GC accounting: how much ledger state the prune horizon
+		// reclaimed, what is still held, and what deep reads replayed.
+		e.res.StatesPruned += st.Pruned
+		e.res.StatesLive += st.StatesLive
+		e.res.StateReplays += st.Replays
+		e.res.BlocksRetired += st.Retired
 		// Adversity accounting: how hard the network fought back.
 		e.res.ForksObserved += net.TotalReorgs()
 		if d := net.MaxReorgDepth(); d > e.res.MaxReorgDepth {
@@ -199,6 +207,14 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount int, col *C
 			trace.Attr{K: "max_reorg_depth", V: int64(net.MaxReorgDepth())},
 			trace.Attr{K: "msgs_dropped", V: int64(net.MsgsDropped())})
 	}
+	// Retire the world: the simulator's queue still holds mining
+	// timers and residual pollers whose closures pin every chain,
+	// state, and client of the finished shard until the worker's next
+	// Reset — or, for each worker's last shard, until the whole run
+	// returns. Clearing the queue now makes a finished shard's memory
+	// reclaimable while other shards are still executing.
+	e.s.Reset(0)
+	e.w = nil
 	return e.res, nil
 }
 
@@ -212,10 +228,10 @@ func (e *shardExec) buildWorld(txCount int) error {
 	e.assetIDs = make([]chain.ID, e.wl.AssetChains)
 	for i := range e.assetIDs {
 		e.assetIDs[i] = chain.ID(fmt.Sprintf("asset-%d", i))
-		b.Chain(engineChainSpec(e.assetIDs[i]))
+		b.Chain(engineChainSpec(e.assetIDs[i], e.prune))
 	}
 	e.witness = chain.ID("witness")
-	b.Chain(engineChainSpec(e.witness))
+	b.Chain(engineChainSpec(e.witness, e.prune))
 
 	e.specs = make([]txSpec, txCount)
 	var at sim.Time
@@ -260,10 +276,28 @@ func (e *shardExec) buildWorld(txCount int) error {
 	return nil
 }
 
-// engineChainSpec is the standard shard chain: 3 miners, 10s blocks.
-func engineChainSpec(id chain.ID) xchain.ChainSpec {
+// engineRetireDepth is the default history-GC horizon: whole blocks
+// (whose bodies carry the SPV evidence blobs dominating memory at
+// scale) are released this deep below every view's tip. It must exceed
+// the block-count lifetime of any transaction, since live protocol
+// runs read their own recent history (EnsureTx, FindCall, evidence
+// assembly): at the 10s default block interval a worst-case 45-minute
+// transaction timeout spans ~270 blocks; 1024 clears that with ~4×
+// margin. Retired history behaves like a pruned full node's: FindTx
+// misses and deep state reads fail, neither of which a live
+// transaction can observe.
+const engineRetireDepth = 1024
+
+// engineChainSpec is the standard shard chain: 3 miners, 10s blocks,
+// with the engine's state-GC horizon (prune 0 = retain everything,
+// which also disables history retirement).
+func engineChainSpec(id chain.ID, prune int) xchain.ChainSpec {
 	s := xchain.DefaultChainSpec(id)
 	s.Params.ConfirmDepth = shardConfirmDepth
+	s.Params.PruneDepth = prune
+	if prune > 0 {
+		s.Params.RetireDepth = max(engineRetireDepth, 2*prune)
+	}
 	return s
 }
 
@@ -620,18 +654,27 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 	e.observeTx(i, runner, committed, aborted, violated, deploys, calls)
 
 	// Retire: stop the runner (every protocol implements it through
-	// the shared runtime) and crash the participants so lingering
-	// watches, pollers and resubmit loops stop consuming simulator
-	// events. On-chain state is already graded; nothing observes
-	// these identities again.
+	// the shared runtime), close the transaction's witness, and retire
+	// the participants — halting their clients permanently and
+	// unhooking them from the broadcast bus — so lingering watches,
+	// pollers and resubmit loops stop consuming simulator events AND
+	// the transaction's runtime objects become garbage. On-chain state
+	// is already graded; nothing observes these identities again. At
+	// 100k+ AC2Ts per shard this release is what keeps shard memory
+	// flat in transaction count.
 	if runner != nil {
 		runner.Stop()
 	}
-	for _, p := range st.parts {
-		if !p.Crashed() {
-			p.Crash()
-		}
+	if st.trent != nil {
+		st.trent.Close()
+		st.trent = nil
 	}
+	for _, p := range st.parts {
+		p.Retire()
+	}
+	st.parts = nil
+	st.runner = nil
+	e.parts[i] = nil
 
 	e.inFlight--
 	if len(e.queue) > 0 {
