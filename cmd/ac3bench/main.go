@@ -12,8 +12,10 @@
 //
 // -snapshot writes a machine-readable BENCH_<pr>.json perf snapshot
 // (the engine shard sweep's wall time, events/AC2T, blocks-exec/AC2T,
-// outcome counts and per-phase latency table) instead of running the
-// table experiments — the ROADMAP's diffable perf trajectory. -scale
+// outcome counts and per-phase latency table, plus the witness
+// decision-batching before/after pair with witness_txs_per_commit and
+// witness_bytes_per_commit) instead of running the table experiments
+// — the ROADMAP's diffable perf trajectory. -scale
 // appends memory-scale rungs to the snapshot: a comma-separated list
 // of AC2T counts (e.g. -scale 10000,100000; add 1000000 for the
 // opt-in 1M rung), each run on 8 shards under a memory sampler and

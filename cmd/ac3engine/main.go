@@ -9,6 +9,7 @@
 //	          [-timeout min] [-chains N]
 //	          [-mix commit,abort,crash,race[,partition,lossy,geo]]
 //	          [-loss P] [-partitionfor min]
+//	          [-batchwindow sec] [-batchwitnesses N] [-batchthreshold M]
 //	          [-sizes 2:6,3:3,4:1] [-progress] [-strict] [-execbudget N]
 //	          [-prunedepth N] [-membudget MiB] [-memlimit MiB]
 //	          [-trace file] [-tracechrome file] [-tracecap N]
@@ -22,6 +23,16 @@
 // Either flag enables recording; -tracecap bounds the per-shard ring
 // buffer (0 = default 65536 records; older records evict first, so
 // memory stays flat at any -txs).
+//
+// -batchwindow enables witness-side decision batching (AC3WN only):
+// instead of one witness-chain transaction per AC2T decision, each
+// shard's witness quorum collects the decisions arriving within the
+// window and publishes one merkle-committed, threshold-attested
+// commit_batch transaction; asset contracts then unlock against
+// membership proofs. Outcomes are unchanged — only the witness-chain
+// traffic columns (witness_decision_txs, batches_published,
+// witness_txs_per_commit, ...) move. -batchwitnesses/-batchthreshold
+// size the attestation quorum (defaults 4 and 3).
 //
 // The -mix flag takes four weights (the classic scenario matrix) or
 // seven, adding the network-adversity scenarios: partition splits the
@@ -71,6 +82,9 @@ func main() {
 	mix := flag.String("mix", "7,2,1,1", "scenario weights: commit,abort,crash,race[,partition,lossy,geo]")
 	loss := flag.Float64("loss", 0.25, "lossy-scenario gossip drop probability in (0,1)")
 	partitionFor := flag.Float64("partitionfor", 6, "partition-scenario split duration, virtual minutes")
+	batchWindow := flag.Float64("batchwindow", 0, "witness decision-batching collection window, virtual seconds (0 = per-AC2T decisions; AC3WN only)")
+	batchWitnesses := flag.Int("batchwitnesses", 0, "batching attestation quorum size n (0 = default 4)")
+	batchThreshold := flag.Int("batchthreshold", 0, "batching attestation threshold m (0 = default 2n/3+1)")
 	sizes := flag.String("sizes", "2:6,3:3,4:1", "graph size distribution as size:weight,...")
 	progress := flag.Bool("progress", false, "report live progress to stderr")
 	strict := flag.Bool("strict", false, "exit non-zero unless every transaction settled (graded, none stuck) with zero atomicity violations")
@@ -109,6 +123,9 @@ func main() {
 	wl.AssetChains = *chains
 	wl.Adversity.Loss = *loss
 	wl.Adversity.PartitionFor = sim.Time(*partitionFor * float64(sim.Minute))
+	wl.BatchWindow = sim.Time(*batchWindow * float64(sim.Second))
+	wl.BatchWitnesses = *batchWitnesses
+	wl.BatchThreshold = *batchThreshold
 
 	var err error
 	if wl.Mix, err = parseMix(*mix); err != nil {
@@ -198,6 +215,11 @@ func main() {
 		agg.BlocksMined, agg.BlocksExecuted, agg.BlocksExecutedPerTx, 100*agg.ExecHitRate)
 	fmt.Fprintf(os.Stderr, "adversity: %d forks observed, max reorg depth %d, %d msgs dropped\n",
 		agg.ForksObserved, agg.MaxReorgDepth, agg.MsgsDropped)
+	if wl.Protocol == engine.ProtoAC3WN {
+		fmt.Fprintf(os.Stderr, "witness: %d per-AC2T decision txs, %d batches (%d decisions, %d republishes), %.3f txs / %.1f bytes per committed AC2T\n",
+			agg.WitnessDecisionTxs, agg.BatchesPublished, agg.BatchDecisions,
+			agg.BatchRepublishes, agg.WitnessTxsPerCommit, agg.WitnessBytesPerCommit)
+	}
 	// Memory numbers are machine/GC-schedule dependent, so they live
 	// here on stderr with the other wall-clock diagnostics — never in
 	// the byte-compared JSON aggregates above.

@@ -108,7 +108,7 @@ func TestEngineLoad(t *testing.T) {
 	if !r.OK {
 		t.Fatalf("engine load failed:\n%s", r)
 	}
-	for _, want := range []string{"shards", "violations", "throughput"} {
+	for _, want := range []string{"shards", "violations", "throughput", "batching", "witness txs/commit"} {
 		if !strings.Contains(r.Output, want) {
 			t.Fatalf("engine output missing %q:\n%s", want, r.Output)
 		}

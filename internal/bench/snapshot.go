@@ -23,6 +23,37 @@ type EngineSnapshot struct {
 	// the flat-memory evidence for the ROADMAP's 1M-tx push. Populated
 	// by SnapshotScale; empty for the plain Snapshot sweep.
 	Scale []ScaleRow `json:"scale,omitempty"`
+	// Witness holds the decision-batching before/after pair: the
+	// 1,000-AC2T default workload on 8 shards with per-AC2T decision
+	// transactions, then with one merkle-committed commit_batch per
+	// 3-minute window. The witness_txs_per_commit drop between the two
+	// rows is the batching perf claim CI gates on.
+	Witness []WitnessRow `json:"witness"`
+}
+
+// WitnessRow is one batching mode's witness-chain traffic profile on
+// the identical workload. All fields but WallMs are deterministic per
+// seed.
+type WitnessRow struct {
+	Batching      string `json:"batching"` // "off" or the window, e.g. "3m"
+	BatchWindowMs int64  `json:"batch_window_ms"`
+	Shards        int    `json:"shards"`
+	Txs           int    `json:"txs"`
+	WallMs        int64  `json:"wall_ms"`
+
+	Commits    int `json:"commits"`
+	Aborts     int `json:"aborts"`
+	Stuck      int `json:"stuck"`
+	Violations int `json:"atomicity_violations"`
+
+	WitnessDecisionTxs    int     `json:"witness_decision_txs"`
+	WitnessDecisionBytes  int     `json:"witness_decision_bytes"`
+	BatchesPublished      int     `json:"batches_published"`
+	BatchDecisions        int     `json:"batch_decisions"`
+	BatchRepublishes      int     `json:"batch_republishes"`
+	BatchBytesPublished   int     `json:"batch_bytes_published"`
+	WitnessTxsPerCommit   float64 `json:"witness_txs_per_commit"`
+	WitnessBytesPerCommit float64 `json:"witness_bytes_per_commit"`
 }
 
 // SnapshotRow is one engine configuration's measured outcome.
@@ -117,6 +148,45 @@ func Snapshot(seed uint64, label string) (*EngineSnapshot, error) {
 			LatencyP99Ms:         agg.LatencyP99Ms,
 			LatencyP999Ms:        agg.LatencyP999Ms,
 			PhaseLatency:         agg.PhaseLatency,
+		})
+	}
+	// The decision-batching before/after pair — the same configuration
+	// as bench.EngineLoad's witness table and the CI batching gates.
+	for _, window := range []sim.Time{0, 3 * sim.Minute} {
+		wl := engine.DefaultWorkload()
+		wl.Txs = 1000
+		wl.BatchWindow = window
+		e, err := engine.New(engine.Config{Seed: seed, Shards: 8, Workload: wl})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		agg, err := e.Run()
+		if err != nil {
+			return nil, err
+		}
+		mode := "off"
+		if window > 0 {
+			mode = "3m"
+		}
+		snap.Witness = append(snap.Witness, WitnessRow{
+			Batching:              mode,
+			BatchWindowMs:         int64(window),
+			Shards:                8,
+			Txs:                   agg.Txs,
+			WallMs:                time.Since(start).Milliseconds(),
+			Commits:               agg.Commits,
+			Aborts:                agg.Aborts,
+			Stuck:                 agg.Stuck,
+			Violations:            agg.Violations,
+			WitnessDecisionTxs:    agg.WitnessDecisionTxs,
+			WitnessDecisionBytes:  agg.WitnessDecisionBytes,
+			BatchesPublished:      agg.BatchesPublished,
+			BatchDecisions:        agg.BatchDecisions,
+			BatchRepublishes:      agg.BatchRepublishes,
+			BatchBytesPublished:   agg.BatchBytesPublished,
+			WitnessTxsPerCommit:   agg.WitnessTxsPerCommit,
+			WitnessBytesPerCommit: agg.WitnessBytesPerCommit,
 		})
 	}
 	return snap, nil

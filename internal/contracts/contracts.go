@@ -34,6 +34,9 @@ const (
 	TypeHeaderRelay    = "relay"
 )
 
+// TypeBatchWitness ("ac3wn.batch") and FnCommitBatch are declared in
+// batch.go beside the batch-commitment contract.
+
 // Function names exposed by the contracts.
 const (
 	FnRedeem          = "redeem"
@@ -100,4 +103,5 @@ func RegisterAll(reg *vm.Registry) {
 	reg.Register(TypeWitness, func() vm.Contract { return &WitnessSC{} })
 	reg.Register(TypePermissionless, func() vm.Contract { return &PermissionlessSC{} })
 	reg.Register(TypeHeaderRelay, func() vm.Contract { return &HeaderRelay{} })
+	reg.Register(TypeBatchWitness, func() vm.Contract { return &BatchWitnessSC{} })
 }

@@ -1,0 +1,40 @@
+package contracts
+
+import (
+	"repro/internal/merkle"
+	"repro/internal/vm"
+)
+
+// init pins encoding/gob's wire-type numbering. Gob assigns type ids
+// from a process-global counter in order of first encode, so without
+// this the ids embedded in every contract params/args payload — and
+// therefore the payload bytes, the transaction ids, and every
+// contract address derived from them — depended on what else the
+// process had gob-encoded first. Outcomes never noticed (the
+// protocols are address-value-agnostic), but byte-level accounting
+// did: the decision-batching work measured three slightly different
+// witness-bytes-per-commit numbers for the identical seed from
+// ac3engine, ac3bench, and the test binary, each a different
+// process-encode history. Encoding one zero value of every wire type
+// here, in this fixed order, assigns their ids (and those of every
+// nested type, recursively) before any other code runs, making
+// payload bytes a pure function of the value again in any process
+// that links this package.
+//
+// New gob-transmitted top-level types must be appended — order is
+// wire-visible, so insertions before the end renumber everything
+// after them.
+func init() {
+	for _, v := range []any{
+		&HTLCParams{},
+		&RelayParams{},
+		&CentralizedParams{},
+		&WitnessParams{},
+		&PermissionlessParams{},
+		&BatchWitnessParams{},
+		&BatchCommit{},
+		&merkle.Proof{},
+	} {
+		vm.EncodeGob(v)
+	}
+}

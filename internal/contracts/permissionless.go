@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/crypto"
+	"repro/internal/merkle"
 	"repro/internal/spv"
 	"repro/internal/vm"
 )
@@ -30,6 +31,11 @@ type PermissionlessParams struct {
 	// Depth is d: evidence of SCw's state change counts only when its
 	// block is buried under at least d witness-chain blocks.
 	Depth int
+	// Batch, when non-zero, is the batch-commitment contract on the
+	// witness chain: redeem/refund then consume a membership proof for
+	// this contract's (SCw, decision) leaf against a committed batch
+	// root instead of evidence of a per-AC2T SCw call.
+	Batch crypto.Address
 }
 
 // PermissionlessSC is the AC3WN asset contract (Algorithm 4). It has
@@ -45,6 +51,7 @@ type PermissionlessSC struct {
 	WitnessCheckpoint []byte
 	SCw               crypto.Address
 	Depth             int
+	Batch             crypto.Address // zero = per-AC2T SCw evidence
 	State             SwapState
 }
 
@@ -79,6 +86,7 @@ func (c *PermissionlessSC) Init(ctx *vm.Ctx, params []byte) error {
 	c.WitnessCheckpoint = p.WitnessCheckpoint
 	c.SCw = p.SCw
 	c.Depth = p.Depth
+	c.Batch = p.Batch
 	c.State = StatePublished
 	return nil
 }
@@ -126,18 +134,14 @@ func (c *PermissionlessSC) Call(ctx *vm.Ctx, fn string, args []byte) error {
 // evidence must be d-deep, fork ambiguity vanishes with probability
 // 1−ε (Lemma 5.3).
 func (c *PermissionlessSC) verifyWitnessEvidence(args []byte, wantFn string) error {
+	if !c.Batch.IsZero() {
+		return c.verifyBatchEvidence(args, wantFn)
+	}
 	ev, err := spv.Decode(args)
 	if err != nil {
 		return err
 	}
-	checkpoint, err := chain.DecodeHeader(c.WitnessCheckpoint)
-	if err != nil {
-		return fmt.Errorf("stored checkpoint corrupt: %w", err)
-	}
-	if ev.ChainID != c.WitnessChain {
-		return fmt.Errorf("evidence from chain %s, want %s", ev.ChainID, c.WitnessChain)
-	}
-	tx, err := ev.Verify(checkpoint, c.Depth)
+	tx, err := c.verifyWitnessTx(ev)
 	if err != nil {
 		return err
 	}
@@ -145,6 +149,71 @@ func (c *PermissionlessSC) verifyWitnessEvidence(args []byte, wantFn string) err
 		return fmt.Errorf("proven tx is not %s on the agreed SCw", wantFn)
 	}
 	return nil
+}
+
+// verifyBatchEvidence is the batched variant of IsRedeemable /
+// IsRefundable: the argument is an evidence pair [SPV evidence,
+// gob-encoded merkle proof]. The SPV evidence must prove a successful
+// commit_batch call on the agreed batch contract at depth ≥ d; since
+// miners exclude failing calls, inclusion implies the batch contract
+// verified canonical order, root, threshold attestation, and
+// conflict-freedom against its decision ledger. The merkle proof then
+// ties this contract's (SCw, decision) leaf to the committed root —
+// per-AC2T membership without a per-AC2T witness transaction. Mutual
+// exclusion carries over: a conflicting record can never appear in a
+// later committed batch (whole-batch rejection), so at most one
+// decision leaf per SCw exists under any committed root per fork.
+func (c *PermissionlessSC) verifyBatchEvidence(args []byte, wantFn string) error {
+	parts, err := DecodeEvidenceList(args)
+	if err != nil {
+		return err
+	}
+	if len(parts) != 2 {
+		return fmt.Errorf("batched evidence has %d parts, want [spv, proof]", len(parts))
+	}
+	ev, err := spv.Decode(parts[0])
+	if err != nil {
+		return err
+	}
+	tx, err := c.verifyWitnessTx(ev)
+	if err != nil {
+		return err
+	}
+	if tx.Kind != chain.TxCall || tx.Contract != c.Batch || tx.Fn != FnCommitBatch {
+		return errors.New("proven tx is not commit_batch on the agreed batch contract")
+	}
+	bc, err := DecodeBatchCommit(tx.Args)
+	if err != nil {
+		return err
+	}
+	var proof merkle.Proof
+	if err := vm.DecodeGob(parts[1], &proof); err != nil {
+		return fmt.Errorf("membership proof: %w", err)
+	}
+	var want WitnessState
+	if wantFn == FnAuthorizeRedeem {
+		want = WitnessRedeemAuthorized
+	} else {
+		want = WitnessRefundAuthorized
+	}
+	if !proof.VerifyData(bc.Root, DecisionLeaf(c.SCw, want)) {
+		return fmt.Errorf("membership proof does not tie (SCw, %s) to the committed root", want)
+	}
+	return nil
+}
+
+// verifyWitnessTx runs the chain-level part of evidence verification
+// shared by both paths: right witness chain, valid header path from
+// the stored stable checkpoint, and burial depth ≥ d (Lemma 5.3).
+func (c *PermissionlessSC) verifyWitnessTx(ev *spv.Evidence) (*chain.Tx, error) {
+	checkpoint, err := chain.DecodeHeader(c.WitnessCheckpoint)
+	if err != nil {
+		return nil, fmt.Errorf("stored checkpoint corrupt: %w", err)
+	}
+	if ev.ChainID != c.WitnessChain {
+		return nil, fmt.Errorf("evidence from chain %s, want %s", ev.ChainID, c.WitnessChain)
+	}
+	return ev.Verify(checkpoint, c.Depth)
 }
 
 // Clone implements vm.Contract.

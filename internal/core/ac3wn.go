@@ -24,6 +24,7 @@ import (
 	"repro/internal/contracts"
 	"repro/internal/crypto"
 	"repro/internal/graph"
+	"repro/internal/merkle"
 	"repro/internal/miner"
 	"repro/internal/protocol"
 	"repro/internal/sim"
@@ -83,6 +84,21 @@ type Config struct {
 	// action that keeps failing from being re-submitted on every
 	// wakeup.
 	RetryEvery sim.Time
+	// Batcher and BatchAddr enable witness-side decision batching:
+	// when both are set, participants submit decisions to the batching
+	// coordinator instead of calling SCw, read the decision from the
+	// batch contract's ledger at depth d, and settle with a
+	// commit_batch SPV proof plus a merkle membership proof. Nil/zero
+	// keeps the per-AC2T SCw decision path.
+	Batcher   DecisionSink
+	BatchAddr crypto.Address
+}
+
+// DecisionSink receives batched AC2T decisions (a batch.Coordinator
+// in practice; an interface so core does not depend on the batching
+// layer).
+type DecisionSink interface {
+	Submit(scw crypto.Address, decision contracts.WitnessState)
 }
 
 // pstate is protocol-owned per-participant state. Everything here can
@@ -134,6 +150,15 @@ type Run struct {
 	DecidedOutcome   contracts.WitnessState
 	terminalReported map[int]bool
 	anchorReported   map[int]bool
+
+	// WitnessDecisionTxs / WitnessDecisionBytes measure this AC2T's
+	// decision traffic on the witness chain: the per-AC2T authorize_*
+	// transaction in the unbatched protocol (counted once, when the
+	// decision stabilizes), zero when batched — the shared commit_batch
+	// traffic is accounted by the coordinator instead. The engine's
+	// witness-efficiency table is built from these.
+	WitnessDecisionTxs   int
+	WitnessDecisionBytes int
 }
 
 // announceSCw and announceDeploy are the off-chain messages.
@@ -161,6 +186,9 @@ func New(w *xchain.World, cfg Config) (*Run, error) {
 	}
 	if _, ok := w.Nets[cfg.WitnessChain]; !ok {
 		return nil, fmt.Errorf("core: unknown witness chain %q", cfg.WitnessChain)
+	}
+	if (cfg.Batcher == nil) != cfg.BatchAddr.IsZero() {
+		return nil, fmt.Errorf("core: batching needs both Batcher and BatchAddr")
 	}
 	byAddr := make(map[crypto.Address]bool)
 	for _, p := range cfg.Participants {
@@ -310,15 +338,25 @@ func (r *Run) drive(p *xchain.Participant) {
 	// rather than stranding its asset.
 	r.confirmOwnEdges(p)
 
-	// Read the decisive state at depth d.
+	// Read the decisive state at depth d: SCw's own state in the
+	// per-AC2T protocol, the batch contract's decision ledger when
+	// batching (SCw then stays in P forever — the record under the
+	// committed root is the decision).
 	stable, haveStable := r.readSCw(wclient, r.cfg.WitnessDepth)
+	var decision contracts.WitnessState
+	var decided bool
+	if r.batched() {
+		decision, decided = r.readBatchDecision(wclient, r.cfg.WitnessDepth)
+	} else if haveStable && stable.State != contracts.WitnessPublished {
+		decision, decided = stable.State, true
+	}
 
 	switch {
-	case haveStable && stable.State == contracts.WitnessRedeemAuthorized:
-		r.markDecision(contracts.WitnessRedeemAuthorized)
+	case decided && decision == contracts.WitnessRedeemAuthorized:
+		r.markDecision(contracts.WitnessRedeemAuthorized, wclient)
 		r.settle(p, true)
-	case haveStable && stable.State == contracts.WitnessRefundAuthorized:
-		r.markDecision(contracts.WitnessRefundAuthorized)
+	case decided && decision == contracts.WitnessRefundAuthorized:
+		r.markDecision(contracts.WitnessRefundAuthorized, wclient)
 		r.settle(p, false)
 	case scw.State == contracts.WitnessPublished:
 		// Still undecided at depth d.
@@ -409,6 +447,26 @@ func heightAtDepth(view *chain.Chain, depth int) uint64 {
 	return h - uint64(depth)
 }
 
+// batched reports whether decisions route through a batching
+// coordinator.
+func (r *Run) batched() bool { return r.cfg.Batcher != nil && !r.cfg.BatchAddr.IsZero() }
+
+// readBatchDecision reads this AC2T's decision from the batch
+// contract's ledger at the given depth. Chain state only — a crashed
+// participant re-derives it on resume like everything else.
+func (r *Run) readBatchDecision(client *miner.Client, depth int) (contracts.WitnessState, bool) {
+	ct, ok := client.ContractNow(r.cfg.BatchAddr, depth)
+	if !ok {
+		return 0, false
+	}
+	b, isB := ct.(*contracts.BatchWitnessSC)
+	if !isB {
+		return 0, false
+	}
+	d, ok := b.Decisions[r.scwAddr]
+	return d, ok
+}
+
 // readSCw reads the witness contract at the given depth.
 func (r *Run) readSCw(client *miner.Client, depth int) (*contracts.WitnessSC, bool) {
 	ct, ok := client.ContractNow(r.scwAddr, depth)
@@ -476,6 +534,7 @@ func (r *Run) deployOwnEdges(p *xchain.Participant, st *pstate) {
 			WitnessCheckpoint: stable.Header.Encode(),
 			SCw:               r.scwAddr,
 			Depth:             r.cfg.WitnessDepth,
+			Batch:             r.cfg.BatchAddr, // zero when unbatched
 		})
 		tx, addr, err := p.Client(e.Chain).Deploy(contracts.TypePermissionless, params, e.Asset)
 		if err != nil {
@@ -551,8 +610,19 @@ func (r *Run) pushGrace(p *xchain.Participant) sim.Time {
 }
 
 // submitAuthorizeRedeem assembles per-edge deployment evidence and
-// pushes SCw to RDauth.
+// pushes SCw to RDauth. When batching, the decision goes to the
+// coordinator instead: the witness quorum takes over evidence
+// verification off-chain, so no per-edge SPV bytes hit the witness
+// chain — that is the entire bytes-per-decision win. Event labels stay
+// identical so scenario hooks keyed on them work in both modes.
 func (r *Run) submitAuthorizeRedeem(p *xchain.Participant, st *pstate) {
+	if r.batched() {
+		r.cfg.Batcher.Submit(r.scwAddr, contracts.WitnessRedeemAuthorized)
+		st.submittedRD = true
+		r.rt.Mark(protocol.PointDecisionTriggered)
+		r.rt.Event(-1, "authorize_redeem submitted by "+p.Name)
+		return
+	}
 	evs := make([][]byte, 0, len(r.cfg.Graph.Edges))
 	for i, e := range r.cfg.Graph.Edges {
 		view := p.Client(e.Chain).Chain()
@@ -584,6 +654,13 @@ func (r *Run) trySubmitRefund(p *xchain.Participant, st *pstate) {
 	if st.submittedRF || r.scwAddr.IsZero() {
 		return
 	}
+	if r.batched() {
+		r.cfg.Batcher.Submit(r.scwAddr, contracts.WitnessRefundAuthorized)
+		st.submittedRF = true
+		r.rt.Mark(protocol.PointDecisionTriggered)
+		r.rt.Event(-1, "authorize_refund submitted by "+p.Name)
+		return
+	}
 	r.rt.Throttle(p, "authorize-refund", 6*r.cfg.RetryEvery, func() {
 		client := p.Client(r.cfg.WitnessChain)
 		if _, err := client.Call(r.scwAddr, contracts.FnAuthorizeRefund, nil, 0); err == nil {
@@ -603,13 +680,27 @@ func (r *Run) markSCwConfirmed() {
 	}
 }
 
-// markDecision records the commit/abort decision boundary.
-func (r *Run) markDecision(outcome contracts.WitnessState) {
-	if r.DecidedAt == 0 {
-		r.DecidedAt = r.w.Sim.Now()
-		r.DecidedOutcome = outcome
-		r.rt.Mark(protocol.PointDecisionConfirmed)
-		r.rt.Event(-1, "decision "+outcome.String()+" stable at depth d")
+// markDecision records the commit/abort decision boundary and, in the
+// unbatched protocol, measures the per-AC2T decision transaction's
+// footprint on the witness chain (counted here, while the transaction
+// is still shallow — history retirement forbids deep scans later).
+func (r *Run) markDecision(outcome contracts.WitnessState, wclient *miner.Client) {
+	if r.DecidedAt != 0 {
+		return
+	}
+	r.DecidedAt = r.w.Sim.Now()
+	r.DecidedOutcome = outcome
+	r.rt.Mark(protocol.PointDecisionConfirmed)
+	r.rt.Event(-1, "decision "+outcome.String()+" stable at depth d")
+	if !r.batched() {
+		fn := contracts.FnAuthorizeRedeem
+		if outcome == contracts.WitnessRefundAuthorized {
+			fn = contracts.FnAuthorizeRefund
+		}
+		if tx, ok := protocol.FindCall(wclient.Chain(), r.scwAddr, fn); ok {
+			r.WitnessDecisionTxs = 1
+			r.WitnessDecisionBytes = len(tx.Encode())
+		}
 	}
 }
 
@@ -704,13 +795,20 @@ func (r *Run) noteOrphanedAnchor(p *xchain.Participant, i int, sc *contracts.Per
 
 // witnessEvidenceFor builds SPV evidence that SCw's state-changing
 // call is buried d deep, anchored at the checkpoint stored in the
-// asset contract.
+// asset contract. Batched, the evidence is the pair [SPV of the
+// commit_batch transaction containing this AC2T's decision, merkle
+// membership proof of the (SCw, decision) leaf] — both re-derived
+// from chain state alone, so a participant that died mid-batch finds
+// its proof again on resume with no local bookkeeping.
 func (r *Run) witnessEvidenceFor(p *xchain.Participant, sc *contracts.PermissionlessSC, fn string) ([]byte, error) {
 	hdr, err := chain.DecodeHeader(sc.WitnessCheckpoint)
 	if err != nil {
 		return nil, err
 	}
 	wview := p.Client(r.cfg.WitnessChain).Chain()
+	if r.batched() {
+		return r.batchEvidenceFor(wview, hdr, fn)
+	}
 	authTx, ok := findCallTx(wview, r.scwAddr, fn)
 	if !ok {
 		return nil, fmt.Errorf("core: no %s call found on witness chain", fn)
@@ -720,6 +818,51 @@ func (r *Run) witnessEvidenceFor(p *xchain.Participant, sc *contracts.Permission
 		return nil, err
 	}
 	return ev.Encode(), nil
+}
+
+// batchEvidenceFor locates the canonical commit_batch transaction
+// whose decision set contains this AC2T's (SCw, decision) record and
+// packages SPV evidence of it plus the membership proof.
+func (r *Run) batchEvidenceFor(wview *chain.Chain, checkpoint *chain.Header, fn string) ([]byte, error) {
+	want := contracts.WitnessRedeemAuthorized
+	if fn == contracts.FnAuthorizeRefund {
+		want = contracts.WitnessRefundAuthorized
+	}
+	tx, ok := protocol.FindCallMatch(wview, r.cfg.BatchAddr, contracts.FnCommitBatch, func(tx *chain.Tx) bool {
+		bc, err := contracts.DecodeBatchCommit(tx.Args)
+		if err != nil {
+			return false
+		}
+		for _, rec := range bc.Records {
+			if rec.SCw == r.scwAddr && rec.Decision == want {
+				return true
+			}
+		}
+		return false
+	})
+	if !ok {
+		return nil, fmt.Errorf("core: no committed batch holds %s for this SCw", want)
+	}
+	bc, err := contracts.DecodeBatchCommit(tx.Args)
+	if err != nil {
+		return nil, err
+	}
+	idx := -1
+	for i, rec := range bc.Records {
+		if rec.SCw == r.scwAddr {
+			idx = i
+			break
+		}
+	}
+	proof, err := merkle.Prove(contracts.BatchLeaves(bc.Records), idx)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := spv.Build(wview, checkpoint.Hash(), tx.ID(), r.cfg.WitnessDepth)
+	if err != nil {
+		return nil, err
+	}
+	return contracts.EncodeEvidenceList([][]byte{ev.Encode(), vm.EncodeGob(proof)}), nil
 }
 
 // findCallTx scans the canonical witness chain (newest first) for a

@@ -43,10 +43,21 @@ type Runner interface {
 // is stable at depth d and every asset contract that made it on-chain
 // has settled (redeemed or refunded) on the ground-truth view. An
 // abort with nothing deployed is settled trivially — there is nothing
-// at stake.
+// at stake. A deploy that was submitted but not yet confirmed blocks
+// quiescence: its transaction is kept alive across forks (EnsureTx),
+// so the contract can still materialize after a refund decision — and
+// must then be refunded, not stranded. Without this, a refund decided
+// faster than a deploy confirms (easy under decision batching, where
+// an AC2T can join a window that is already closing) reads as settled
+// during exactly the gap in which the late contract appears.
 func (r *Run) Settled() bool {
 	if r.DecidedAt == 0 {
 		return false
+	}
+	for i := range r.ownTx {
+		if r.ownTx[i] != nil && !r.announced[i] {
+			return false // submitted deploy still in flight
+		}
 	}
 	deployed, settled := xchain.AllSettled(r.w, r.cfg.Graph, r.addrs)
 	if !settled {

@@ -313,6 +313,100 @@ func TestMultiSigIDDistinguishesSignerSets(t *testing.T) {
 	}
 }
 
+func TestMultiSigCompleteThreshold(t *testing.T) {
+	alice := testKey(t, 25)
+	bob := testKey(t, 26)
+	carol := testKey(t, 27)
+	dave := testKey(t, 28)
+	digest := Sum([]byte("batch root"))
+	required := []Address{alice.Addr, bob.Addr, carol.Addr, dave.Addr}
+
+	ms := NewMultiSig(digest)
+	ms.Add(alice)
+	ms.Add(bob)
+	if ms.CompleteThreshold(required, 3) {
+		t.Fatal("2-of-4 reported complete at threshold 3")
+	}
+	ms.Add(carol)
+	if !ms.CompleteThreshold(required, 3) {
+		t.Fatal("3-of-4 reported incomplete at threshold 3")
+	}
+	// 3 valid signatures from the required set satisfy any m <= 3 but
+	// not all-of-n.
+	if !ms.CompleteThreshold(required, 1) || !ms.CompleteThreshold(required, 2) {
+		t.Fatal("lower thresholds not satisfied by a larger quorum")
+	}
+	if ms.CompleteThreshold(required, 4) {
+		t.Fatal("3-of-4 reported complete at threshold 4")
+	}
+	if ms.Complete(required) {
+		t.Fatal("all-of-n Complete satisfied by a 3-of-4 quorum")
+	}
+}
+
+func TestMultiSigCompleteThresholdOutsidersDontCount(t *testing.T) {
+	alice := testKey(t, 29)
+	bob := testKey(t, 30)
+	mallory := testKey(t, 31)
+	digest := Sum([]byte("d"))
+	required := []Address{alice.Addr, bob.Addr}
+
+	ms := NewMultiSig(digest)
+	ms.Add(alice)
+	ms.Add(mallory)
+	if ms.CompleteThreshold(required, 2) {
+		t.Fatal("signature from outside the required set counted toward quorum")
+	}
+	if !ms.CompleteThreshold(required, 1) {
+		t.Fatal("valid required signature not counted with outsider present")
+	}
+}
+
+func TestMultiSigCompleteThresholdRejectsTamperedSig(t *testing.T) {
+	alice := testKey(t, 32)
+	bob := testKey(t, 33)
+	digest := Sum([]byte("d"))
+	required := []Address{alice.Addr, bob.Addr}
+
+	ms := NewMultiSig(digest)
+	ms.Add(alice)
+	ms.Add(bob)
+	ms.Sigs[1].Sig[0] ^= 1
+	// bob's tampered signature poisons the whole multisignature even
+	// though alice alone would satisfy m=1.
+	if ms.CompleteThreshold(required, 1) {
+		t.Fatal("tampered signature did not poison threshold check")
+	}
+}
+
+func TestMultiSigCompleteThresholdBounds(t *testing.T) {
+	alice := testKey(t, 34)
+	digest := Sum([]byte("d"))
+	required := []Address{alice.Addr}
+	ms := NewMultiSig(digest)
+	ms.Add(alice)
+	if ms.CompleteThreshold(required, 0) {
+		t.Fatal("threshold 0 reported satisfiable")
+	}
+	if ms.CompleteThreshold(required, -1) {
+		t.Fatal("negative threshold reported satisfiable")
+	}
+	if ms.CompleteThreshold(required, 2) {
+		t.Fatal("threshold above len(required) reported satisfiable")
+	}
+	if ms.CompleteThreshold(nil, 1) {
+		t.Fatal("empty required set satisfied a positive threshold")
+	}
+	// Duplicate addresses in required must not double-count one signer.
+	dup := []Address{alice.Addr, alice.Addr}
+	if ms.CompleteThreshold(dup, 2) {
+		t.Fatal("duplicate required address double-counted one signature")
+	}
+	if !ms.CompleteThreshold(dup, 1) {
+		t.Fatal("duplicate required set failed at threshold 1")
+	}
+}
+
 func TestMultiSigCloneIndependent(t *testing.T) {
 	alice := testKey(t, 22)
 	bob := testKey(t, 23)

@@ -78,6 +78,36 @@ func (m *MultiSig) Complete(required []Address) bool {
 	return true
 }
 
+// CompleteThreshold reports whether at least m of the required
+// participants have validly signed the digest (an m-of-n quorum, the
+// primitive a 2/3+ witness set needs where Complete's all-of-n is too
+// strong). Like Complete, any invalid signature poisons the whole
+// multisignature, and signatures from addresses outside the required
+// set never count toward the quorum. m must be positive and at most
+// len(required); out-of-range thresholds are unsatisfiable by
+// definition and report false.
+func (m *MultiSig) CompleteThreshold(required []Address, threshold int) bool {
+	if threshold <= 0 || threshold > len(required) {
+		return false
+	}
+	have := make(map[Address]bool, len(m.Sigs))
+	for _, s := range m.Sigs {
+		if !s.Verify(m.Digest[:]) {
+			return false
+		}
+		have[s.Signer()] = true
+	}
+	count := 0
+	seen := make(map[Address]bool, len(required))
+	for _, r := range required {
+		if have[r] && !seen[r] {
+			seen[r] = true
+			count++
+		}
+	}
+	return count >= threshold
+}
+
 // ID returns an order-independent identifier for this ms(D): the hash
 // of the graph digest together with the sorted signer set. Two
 // multisignatures over the same (D, t) by the same participants have

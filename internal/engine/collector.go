@@ -150,6 +150,23 @@ type ShardResult struct {
 	StateReplays  uint64 `json:"state_replays"`
 	BlocksRetired uint64 `json:"blocks_retired"`
 
+	// Witness-efficiency accounting (AC3WN only, zero elsewhere):
+	// WitnessDecisionTxs / WitnessDecisionBytes total the per-AC2T
+	// decision transactions (authorize_redeem / authorize_refund on
+	// each transaction's own SCw) and their encoded sizes — the
+	// unbatched decision traffic. BatchesPublished / BatchDecisions /
+	// BatchBytesPublished total the shard coordinator's commit_batch
+	// transactions, the AC2T decisions they carried, and their encoded
+	// sizes; BatchRepublishes counts commitments re-pushed after a
+	// reorg below the coordinator's stable depth. Batching on moves the
+	// decision traffic from the first pair to the batch counters.
+	WitnessDecisionTxs   int `json:"witness_decision_txs"`
+	WitnessDecisionBytes int `json:"witness_decision_bytes"`
+	BatchesPublished     int `json:"batches_published"`
+	BatchDecisions       int `json:"batch_decisions"`
+	BatchRepublishes     int `json:"batch_republishes"`
+	BatchBytesPublished  int `json:"batch_bytes_published"`
+
 	// Adversity accounting: ForksObserved totals canonical-tip reorgs
 	// across every node view in the shard (each one a fork race some
 	// replica lost), MaxReorgDepth is the deepest canonical rollback

@@ -207,6 +207,24 @@ type Aggregate struct {
 	// the budget the CI bench smoke enforces.
 	BlocksExecutedPerTx float64 `json:"blocks_executed_per_tx"`
 
+	// Witness-efficiency accounting summed across shards (AC3WN only,
+	// zero elsewhere): the per-AC2T decision transactions and bytes the
+	// unbatched path puts on the witness chain, and the batched path's
+	// commit_batch transactions, carried decisions, bytes, and
+	// post-reorg republishes. WitnessTxsPerCommit / WitnessBytesPerCommit
+	// are the headline efficiency ratios — total decision-carrying
+	// witness transactions (per-AC2T + batch commits) and their bytes,
+	// divided by committed AC2Ts. Batching is graded on driving the
+	// transaction ratio from ~1.0 toward 1/batch-size.
+	WitnessDecisionTxs    int     `json:"witness_decision_txs"`
+	WitnessDecisionBytes  int     `json:"witness_decision_bytes"`
+	BatchesPublished      int     `json:"batches_published"`
+	BatchDecisions        int     `json:"batch_decisions"`
+	BatchRepublishes      int     `json:"batch_republishes"`
+	BatchBytesPublished   int     `json:"batch_bytes_published"`
+	WitnessTxsPerCommit   float64 `json:"witness_txs_per_commit"`
+	WitnessBytesPerCommit float64 `json:"witness_bytes_per_commit"`
+
 	// Adversity accounting across all shards: total canonical-tip
 	// reorgs observed by any node view, the deepest canonical rollback
 	// any view performed, and gossip messages dropped by the loss
@@ -345,6 +363,12 @@ func (e *Engine) assemble(results []*ShardResult, recs []*trace.Recorder) *Aggre
 		agg.StatesLive += r.StatesLive
 		agg.StateReplays += r.StateReplays
 		agg.BlocksRetired += r.BlocksRetired
+		agg.WitnessDecisionTxs += r.WitnessDecisionTxs
+		agg.WitnessDecisionBytes += r.WitnessDecisionBytes
+		agg.BatchesPublished += r.BatchesPublished
+		agg.BatchDecisions += r.BatchDecisions
+		agg.BatchRepublishes += r.BatchRepublishes
+		agg.BatchBytesPublished += r.BatchBytesPublished
 		if r.MakespanVirtualMs > agg.MakespanVirtualMs {
 			agg.MakespanVirtualMs = r.MakespanVirtualMs
 		}
@@ -410,6 +434,10 @@ func (e *Engine) assemble(results []*ShardResult, recs []*trace.Recorder) *Aggre
 	}
 	if total := agg.BlockExecHits + agg.BlocksExecuted; total > 0 {
 		agg.ExecHitRate = float64(agg.BlockExecHits) / float64(total)
+	}
+	if agg.Commits > 0 {
+		agg.WitnessTxsPerCommit = float64(agg.WitnessDecisionTxs+agg.BatchesPublished) / float64(agg.Commits)
+		agg.WitnessBytesPerCommit = float64(agg.WitnessDecisionBytes+agg.BatchBytesPublished) / float64(agg.Commits)
 	}
 	return agg
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/chain"
 	"repro/internal/contracts"
 	"repro/internal/core"
@@ -41,6 +42,13 @@ const (
 	// shard watches every chain's ground-truth view); this coarse
 	// check only bounds the run when notifications stop coming.
 	quiesceCheckEvery = sim.Minute
+	// batchStableDepth is how deep a published batch commitment must be
+	// buried before the shard's coordinator stops watching it for
+	// reorgs. It must exceed the deepest canonical rollback the
+	// adversity scenarios produce (36 observed under partition heals),
+	// and stay well inside the history-retirement horizon so the depth
+	// checks always see the transaction.
+	batchStableDepth = 48
 )
 
 // txSpec is one generated AC2T: arrival offset, ring size, scenario.
@@ -100,6 +108,11 @@ type shardExec struct {
 	w        *xchain.World
 	assetIDs []chain.ID
 	witness  chain.ID
+	// coord is the shard's witness-side batching coordinator, non-nil
+	// only when the workload enables batching (BatchWindow > 0, AC3WN).
+	// One coordinator serves every AC2T in the shard — that sharing is
+	// the whole point of batching.
+	coord *batch.Coordinator
 
 	specs []txSpec
 	parts [][]*xchain.Participant // per tx, disjoint
@@ -177,6 +190,17 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount, prune int,
 	}
 	e.res.MakespanVirtualMs = int64(s.Now())
 	e.res.Events = s.Executed
+	if e.coord != nil {
+		// Batch accounting is read once at shard end (the counters are
+		// plain ints mutated on the shard's single goroutine), then the
+		// coordinator retires with the rest of the world.
+		e.res.BatchesPublished = e.coord.BatchesPublished
+		e.res.BatchDecisions = e.coord.BatchDecisions
+		e.res.BatchRepublishes = e.coord.Republishes
+		e.res.BatchBytesPublished = e.coord.BytesPublished
+		e.coord.Close()
+		e.coord = nil
+	}
 	// Execution accounting: every network's shared executor ran each
 	// block's state transition once; replica adoptions hit the cache.
 	for _, id := range e.w.Chains() {
@@ -266,6 +290,21 @@ func (e *shardExec) buildWorld(txCount int) error {
 		return fmt.Errorf("engine: shard %d world: %w", e.idx, err)
 	}
 	e.w = w
+	if e.wl.BatchWindow > 0 && e.wl.Protocol == ProtoAC3WN {
+		// One batching coordinator per shard world, its witness quorum
+		// keyed off a forked seed so quorum identities perturb neither
+		// workload draws nor mining randomness.
+		coord, err := batch.New(w, e.witness, e.seed^0xb5297a4d3f84d5a3, batch.Config{
+			Window:      e.wl.BatchWindow,
+			Witnesses:   e.wl.BatchWitnesses,
+			Threshold:   e.wl.BatchThreshold,
+			StableDepth: batchStableDepth,
+		})
+		if err != nil {
+			return fmt.Errorf("engine: shard %d batch coordinator: %w", e.idx, err)
+		}
+		e.coord = coord
+	}
 	// The shard's own notification feed: any tip change of any chain's
 	// ground-truth view (same-instant changes coalesce into one event)
 	// re-evaluates the in-flight transactions.
@@ -412,7 +451,7 @@ func (e *shardExec) newRunner(i int, g *graph.Graph, ps []*xchain.Participant, s
 	}
 	switch e.wl.Protocol {
 	case ProtoAC3WN:
-		return core.New(e.w, core.Config{
+		cfg := core.Config{
 			Graph:        g,
 			Participants: ps,
 			Initiator:    ps[0],
@@ -420,7 +459,14 @@ func (e *shardExec) newRunner(i int, g *graph.Graph, ps []*xchain.Participant, s
 			WitnessDepth: shardConfirmDepth,
 			AssetDepth:   shardConfirmDepth,
 			AbortAfter:   abortAfter,
-		})
+		}
+		// Guarded assignment: a typed-nil *batch.Coordinator in the
+		// DecisionSink interface would read as "batching on".
+		if e.coord != nil {
+			cfg.Batcher = e.coord
+			cfg.BatchAddr = e.coord.Addr()
+		}
+		return core.New(e.w, cfg)
 	case ProtoAC3TW:
 		// Each AC2T trusts its own witness — the AC3TW analog of
 		// AC3WN's per-transaction witness-chain choice — so a witness
@@ -600,6 +646,15 @@ func (e *shardExec) applyScenario(i int, runner core.Runner, ps []*xchain.Partic
 				if scw.IsZero() {
 					return false
 				}
+				if e.coord != nil {
+					// Batched mode: the rogue races the honest decision
+					// inside the batching layer itself — a conflicting
+					// refund submitted to the coordinator. First-wins
+					// there (and whole-batch conflict rejection
+					// on-chain) is what keeps the AC2T atomic.
+					e.coord.Submit(scw, contracts.WitnessRefundAuthorized)
+					return true
+				}
 				_, err := rogue.Client(e.witness).Call(scw, contracts.FnAuthorizeRefund, nil, 0)
 				return err == nil
 			}
@@ -648,6 +703,14 @@ func (e *shardExec) finish(i int, runner core.Runner) {
 		committed, aborted, violated = out.Committed(), out.Aborted(), out.AtomicityViolated()
 		lat = out.Latency()
 		deploys, calls = out.Deploys, out.Calls
+	}
+	if r, ok := runner.(*core.Run); ok {
+		// Witness-efficiency accounting: the per-AC2T decision traffic
+		// this transaction put on the witness chain (zero in batched
+		// mode — batch traffic is counted once per shard, off the
+		// coordinator).
+		e.res.WitnessDecisionTxs += r.WitnessDecisionTxs
+		e.res.WitnessDecisionBytes += r.WitnessDecisionBytes
 	}
 	e.res.record(sc, committed, aborted, violated, lat, deploys, calls)
 	e.col.observe(lat, violated)

@@ -122,6 +122,16 @@ type Workload struct {
 	Mix Mix `json:"mix"`
 	// Adversity configures the partition/lossy/geo scenarios.
 	Adversity Adversity `json:"adversity"`
+	// BatchWindow enables witness-side decision batching (AC3WN only):
+	// each shard runs one batching coordinator that collects the AC2T
+	// decisions arriving within the window and publishes one
+	// merkle-committed, threshold-attested commit_batch transaction
+	// per decision set. Zero keeps the per-AC2T SCw decision path.
+	BatchWindow sim.Time `json:"batch_window_ms"`
+	// BatchWitnesses / BatchThreshold size the attestation quorum
+	// (m-of-n). Zero means the coordinator defaults (4 and 2n/3+1).
+	BatchWitnesses int `json:"batch_witnesses"`
+	BatchThreshold int `json:"batch_threshold"`
 }
 
 // DefaultWorkload returns a mixed AC3WN workload: mostly commits,
@@ -190,6 +200,25 @@ func (wl *Workload) validate() error {
 		}
 		if wl.Adversity.LossyFor <= 0 {
 			return fmt.Errorf("engine: lossy scenario needs Adversity.LossyFor > 0")
+		}
+	}
+	if wl.BatchWindow < 0 {
+		return fmt.Errorf("engine: negative batch window")
+	}
+	if wl.BatchWindow > 0 {
+		if wl.Protocol != ProtoAC3WN {
+			return fmt.Errorf("engine: batching is AC3WN-only, got %q", wl.Protocol)
+		}
+		if wl.BatchWindow >= wl.TxTimeout {
+			return fmt.Errorf("engine: batch window %dms cannot cover the whole %dms grading deadline",
+				wl.BatchWindow, wl.TxTimeout)
+		}
+		bn, bm := wl.BatchWitnesses, wl.BatchThreshold
+		if bn < 0 || bm < 0 {
+			return fmt.Errorf("engine: negative batch quorum sizes")
+		}
+		if bn > 0 && bm > bn {
+			return fmt.Errorf("engine: batch threshold %d above quorum size %d", bm, bn)
 		}
 	}
 	if m.Partition > 0 {

@@ -30,6 +30,28 @@ func BenchmarkRoot(b *testing.B) {
 	}
 }
 
+// BenchmarkProveVerify measures the full per-member cost at witness
+// batch sizes: building the membership proof and verifying it, the
+// pair of operations a batched redeem/refund performs per AC2T.
+func BenchmarkProveVerify(b *testing.B) {
+	for _, n := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", n), func(b *testing.B) {
+			leaves := benchLeaves(n)
+			root := Root(leaves)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				proof, err := Prove(leaves, i%n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !proof.Verify(root) {
+					b.Fatal("valid proof rejected")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkProveAndVerify(b *testing.B) {
 	for _, n := range []int{16, 256, 1024} {
 		b.Run(fmt.Sprintf("leaves=%d", n), func(b *testing.B) {

@@ -96,7 +96,12 @@ func Prove(leaves []crypto.Hash, index int) (*Proof, error) {
 	return p, nil
 }
 
-// Verify reports whether the proof links its leaf to root.
+// Verify reports whether the proof links its leaf to root. Leaf is
+// trusted as a genuine leaf hash: a caller holding untrusted data must
+// use VerifyData, which recomputes LeafHash(data) and so gets the
+// leaf/node domain separation that blocks interior-node-as-leaf
+// second-preimage forgeries. Verify alone cannot distinguish a leaf
+// from an interior node.
 func (p *Proof) Verify(root crypto.Hash) bool {
 	if p == nil || len(p.Siblings) != len(p.Lefts) {
 		return false

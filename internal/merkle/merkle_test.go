@@ -54,6 +54,108 @@ func TestRootDoesNotDependOnCallerSlice(t *testing.T) {
 	}
 }
 
+func TestProveEmptyTreeErrors(t *testing.T) {
+	if _, err := Prove(nil, 0); err == nil {
+		t.Fatal("Prove on an empty tree succeeded")
+	}
+	if _, err := Prove([]crypto.Hash{}, 0); err == nil {
+		t.Fatal("Prove on an empty slice succeeded")
+	}
+}
+
+func TestSingleLeafProofShape(t *testing.T) {
+	leaves := mkLeaves(1)
+	root := Root(leaves)
+	p, err := Prove(leaves, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Siblings) != 0 || len(p.Lefts) != 0 {
+		t.Fatalf("single-leaf proof has %d siblings, want 0", len(p.Siblings))
+	}
+	if !p.Verify(root) {
+		t.Fatal("single-leaf proof rejected")
+	}
+	if !p.VerifyData(root, []byte("tx-0")) {
+		t.Fatal("single-leaf VerifyData rejected original payload")
+	}
+	// The empty-sibling proof must not verify a different leaf against
+	// the same root.
+	forged := *p
+	forged.Leaf = LeafHash([]byte("other"))
+	if forged.Verify(root) {
+		t.Fatal("single-leaf proof verified a different leaf")
+	}
+}
+
+func TestOddLeafCountRoundTrip(t *testing.T) {
+	// Odd counts exercise the unpaired-node promotion at every level;
+	// every index must round-trip, and the promoted (last) leaf is the
+	// historically buggy case.
+	for _, n := range []int{3, 5, 7, 9, 11, 13, 33, 65} {
+		leaves := mkLeaves(n)
+		root := Root(leaves)
+		for _, i := range []int{0, n / 2, n - 1} {
+			p, err := Prove(leaves, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !p.Verify(root) {
+				t.Fatalf("n=%d i=%d: odd-count proof rejected", n, i)
+			}
+			if !p.VerifyData(root, []byte(fmt.Sprintf("tx-%d", i))) {
+				t.Fatalf("n=%d i=%d: odd-count VerifyData rejected", n, i)
+			}
+		}
+	}
+}
+
+func TestSecondPreimageForgedInteriorProof(t *testing.T) {
+	// Second-preimage regression: the classic attack presents an
+	// interior node's value as a "leaf" and proves membership of data
+	// (the concatenated children) that was never committed. The bare
+	// hash-chain in Verify cannot tell — it trusts the caller-supplied
+	// Leaf — which is exactly why every untrusted-data verification in
+	// this repo goes through VerifyData, where domain separation (0x00
+	// leaf prefix vs 0x01 node prefix) closes the attack: no raw
+	// payload can leaf-hash to an interior node value without a
+	// preimage break.
+	leaves := mkLeaves(4)
+	root := Root(leaves)
+
+	// Interior node over leaves[0..1] as the attacker's fake "leaf",
+	// paired with the genuine right interior node as its sibling. The
+	// hash chain itself links to the root (documented Verify caveat)…
+	interior := crypto.Sum([]byte{0x01}, leaves[0][:], leaves[1][:])
+	rightPair := crypto.Sum([]byte{0x01}, leaves[2][:], leaves[3][:])
+	forged := &Proof{
+		Index:    0,
+		Leaf:     interior,
+		Siblings: []crypto.Hash{rightPair},
+		Lefts:    []bool{false},
+	}
+	if !forged.Verify(root) {
+		t.Fatal("test setup: forged hash chain should link (Verify trusts Leaf)")
+	}
+
+	// …but the attack needs VerifyData to accept the children
+	// concatenation as committed data, and domain separation forbids
+	// that for every candidate encoding of the fake payload.
+	fakeData := append(append([]byte{}, leaves[0][:]...), leaves[1][:]...)
+	if forged.VerifyData(root, fakeData) {
+		t.Fatal("second-preimage forgery: interior node verified as data")
+	}
+	withPrefix := append([]byte{0x01}, fakeData...)
+	if forged.VerifyData(root, withPrefix) {
+		t.Fatal("second-preimage forgery via prefixed payload")
+	}
+	// And a directly leaf-hashed fake payload cannot collide with the
+	// interior node value either.
+	if LeafHash(fakeData) == interior {
+		t.Fatal("leaf hash collided with interior node hash")
+	}
+}
+
 func TestProveVerifyAllSizesAllIndexes(t *testing.T) {
 	for n := 1; n <= 33; n++ {
 		leaves := mkLeaves(n)

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/chain"
 	"repro/internal/contracts"
 	"repro/internal/core"
@@ -219,6 +220,120 @@ func TestConformanceAC3WN(t *testing.T) {
 					if !out.Committed() && !out.Aborted() {
 						t.Fatalf("AC3WN race left the AC2T unsettled: %+v", out.Edges)
 					}
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceAC3WNBatched is the grid's batching column: the same
+// scenario cells, but every decision rides the witness-side batching
+// layer — a coordinator collects decisions over a 90s window, commits
+// the merkle root under an m-of-n attestation, and redeem/refund on
+// the asset chains carries a membership proof against the committed
+// root. The claims under test: outcomes match the per-AC2T column at
+// zero violations; the crash cell's victim resumes after the batch
+// committed and re-derives its membership proof purely from chain
+// state; the race cell's conflicting refund is absorbed first-wins;
+// and the partition cell splits the witness chain mid-batch-window
+// (decisions pending, commitment unpublished or unburied), forcing
+// the post-reorg republish path to carry the decision set.
+func TestConformanceAC3WNBatched(t *testing.T) {
+	const batchWindow = 90 * sim.Second
+	for _, n := range []int{2, 3} {
+		for _, scenario := range []string{"commit", "abort", "crash", "race", "partition"} {
+			n, scenario := n, scenario
+			t.Run(fmt.Sprintf("%s-%d", scenario, n), func(t *testing.T) {
+				seed := uint64(44000 + n*100)
+				w, ps, g := gridWorld(t, seed, n)
+				coord, err := batch.New(w, "witness", seed+99, batch.Config{
+					Window: batchWindow,
+					// Track published commitments past the deepest
+					// minority fork a healed 8-minute split produces.
+					StableDepth: 48,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				victim := ps[n-1]
+				abortAfter := sim.Time(0)
+				if scenario == "abort" {
+					abortAfter = confAbortAt
+					victim.Crash() // declines: never deploys
+				}
+				r, err := core.New(w, core.Config{
+					Graph:        g,
+					Participants: ps,
+					Initiator:    ps[0],
+					WitnessChain: "witness",
+					WitnessDepth: confDepth,
+					AssetDepth:   confDepth,
+					AbortAfter:   abortAfter,
+					Batcher:      coord,
+					BatchAddr:    coord.Addr(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Start()
+				switch scenario {
+				case "crash":
+					// The victim dies the moment the redeem decision
+					// enters the batching layer and stays down far past
+					// the window: the batch commits without it, and
+					// Resume must rebuild the membership proof from the
+					// chain's commit_batch record alone.
+					crashThenResume(w, r, victim, func() bool {
+						return eventCount(r.Events(), "authorize_redeem submitted") > 0
+					})
+				case "race":
+					// The rogue races the honest decision inside the
+					// batching layer: first-wins at the coordinator (and
+					// whole-batch conflict rejection on-chain) keeps
+					// exactly one decision per SCw.
+					w.Sim.Poll(100*sim.Millisecond, func() bool {
+						scw := r.SCwAddr()
+						if scw.IsZero() {
+							return false
+						}
+						coord.Submit(scw, contracts.WitnessRefundAuthorized)
+						return true
+					})
+				case "partition":
+					// Split the witness network mid-batch-window: a
+					// decision is pending at the coordinator, and the
+					// commitment it publishes can only reach the
+					// minority fork (the coordinator's node is the one
+					// isolated). The heal reorgs the commitment out and
+					// the coordinator must republish it.
+					splitNet(w, "witness", func() bool { return coord.Pending() > 0 })
+				}
+				w.RunUntil(2 * sim.Hour)
+				w.StopMining()
+				w.RunFor(sim.Minute)
+				out := r.Grade()
+				if out.AtomicityViolated() {
+					t.Fatalf("batched AC3WN violated atomicity under %s: %+v", scenario, out.Edges)
+				}
+				switch scenario {
+				case "commit", "crash", "partition":
+					if !out.Committed() {
+						t.Fatalf("batched AC3WN did not commit under %s: %+v", scenario, out.Edges)
+					}
+				case "abort":
+					if !out.Aborted() {
+						t.Fatalf("batched AC3WN did not abort cleanly: %+v", out.Edges)
+					}
+				case "race":
+					if !out.Committed() && !out.Aborted() {
+						t.Fatalf("batched AC3WN race left the AC2T unsettled: %+v", out.Edges)
+					}
+				}
+				if coord.BatchesPublished == 0 {
+					t.Fatalf("no batch published under %s", scenario)
+				}
+				if scenario == "partition" && coord.Republishes == 0 {
+					t.Fatal("witness partition mid-batch-window never exercised the republish path")
 				}
 			})
 		}

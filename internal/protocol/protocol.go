@@ -414,13 +414,24 @@ func (rt *Runtime) EnsureTx(p *xchain.Participant, id chain.ID, tx *chain.Tx, de
 // (AC3WN's authorize_* evidence) and extract revealed arguments
 // (HTLC's secret) from chain state alone.
 func FindCall(view *chain.Chain, contract crypto.Address, fn string) (*chain.Tx, bool) {
+	return FindCallMatch(view, contract, fn, nil)
+}
+
+// FindCallMatch is FindCall with an argument-level filter: among the
+// calls of fn on the contract, it returns the newest whose decoded
+// arguments satisfy match (nil matches everything). Batched AC3WN
+// participants use it to locate the commit_batch transaction whose
+// decision set contains their own SCw — re-derivable from chain state
+// alone, which is what makes crash/resume work without any local
+// batch bookkeeping.
+func FindCallMatch(view *chain.Chain, contract crypto.Address, fn string, match func(*chain.Tx) bool) (*chain.Tx, bool) {
 	for h := view.Height(); ; h-- {
 		b, ok := view.CanonicalAt(h)
 		if !ok {
 			break
 		}
 		for _, tx := range b.Txs {
-			if tx.Kind == chain.TxCall && tx.Contract == contract && tx.Fn == fn {
+			if tx.Kind == chain.TxCall && tx.Contract == contract && tx.Fn == fn && (match == nil || match(tx)) {
 				return tx, true
 			}
 		}
