@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestDriverRegistersAllAnalyzers pins the driver's spelled-out
+// analyzer list to lint.All: same length, same order, same *Analyzer
+// identities. Adding an analyzer to the suite without registering it
+// here (or vice versa) fails this test rather than silently shipping a
+// checker that skips a rule.
+func TestDriverRegistersAllAnalyzers(t *testing.T) {
+	if len(analyzers) != len(lint.All) {
+		t.Fatalf("driver registers %d analyzers, lint.All has %d", len(analyzers), len(lint.All))
+	}
+	for i, a := range lint.All {
+		if analyzers[i] != a {
+			t.Errorf("driver analyzer %d is %q, lint.All[%d] is %q (must be the same *Analyzer)",
+				i, analyzers[i].Name, i, a.Name)
+		}
+	}
+}

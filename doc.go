@@ -29,12 +29,18 @@
 //     of AC2Ts driven in parallel across independent deterministic
 //     shard worlds, with backpressure, scenario mixes and aggregated
 //     results (docs/architecture/ADR-001-engine.md)
+//   - internal/lint — ac3lint, the static-analysis suite that
+//     machine-checks the determinism contract: no wall clocks, no
+//     ambient RNGs, no map-order leaks into serialized output, no
+//     concurrency inside shard-world packages, no mutable globals
+//     (docs/architecture/ADR-009-determinism-lint.md)
 //
 // Command entry points: cmd/ac3bench regenerates the paper's tables
 // and figures, cmd/ac3sim runs one configurable AC2T end to end,
-// cmd/ac3calc evaluates the analytic models, and cmd/ac3engine runs
+// cmd/ac3calc evaluates the analytic models, cmd/ac3engine runs
 // high-throughput mixed workloads on the engine and emits JSON
-// aggregates.
+// aggregates, and cmd/ac3lint runs the determinism-contract analyzers
+// (a blocking CI gate).
 //
 // The benchmarks in bench_test.go regenerate every table and figure;
 // see EXPERIMENTS.md for measured-vs-paper results and DESIGN.md for

@@ -31,6 +31,8 @@ type NetworkCost struct {
 // figure ($300K/hour, 6 blocks/hour) appears explicitly in Section
 // 6.3; the others are the same source's contemporaneous values for
 // the remaining top-market-cap chains of Table 1.
+//
+//ac3:globalstate read-only snapshot of the paper's published cost table; written once here, never mutated
 var Crypto51Snapshot = []NetworkCost{
 	{Name: "Bitcoin", HourlyCostUSD: 300_000, BlocksPerHour: 6},
 	{Name: "Ethereum", HourlyCostUSD: 100_000, BlocksPerHour: 240},

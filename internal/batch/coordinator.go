@@ -105,7 +105,7 @@ func New(w *xchain.World, witnessChain chain.ID, seed uint64, cfg Config) (*Coor
 	if cfg.Window <= 0 {
 		return nil, errors.New("batch: non-positive window")
 	}
-	rng := sim.NewRNG(seed)
+	rng := sim.NewRNG(seed) //ac3:globalrand seed parameter descends from the shard seed (engine forks it per world; ADR-008)
 	c := &Coordinator{
 		cfg:     cfg,
 		s:       w.Sim,

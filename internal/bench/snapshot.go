@@ -127,7 +127,7 @@ func Snapshot(seed uint64, label string) (*EngineSnapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := time.Now() //ac3:wallclock wall-ms is a measured (non-deterministic) snapshot column, reported beside the byte-compared aggregates, never inside them
 		agg, err := e.Run()
 		if err != nil {
 			return nil, err
@@ -135,7 +135,7 @@ func Snapshot(seed uint64, label string) (*EngineSnapshot, error) {
 		snap.Rows = append(snap.Rows, SnapshotRow{
 			Shards:               shards,
 			Txs:                  agg.Txs,
-			WallMs:               time.Since(start).Milliseconds(),
+			WallMs:               time.Since(start).Milliseconds(), //ac3:wallclock measured snapshot column (see above)
 			Commits:              agg.Commits,
 			Aborts:               agg.Aborts,
 			Stuck:                agg.Stuck,
@@ -160,7 +160,7 @@ func Snapshot(seed uint64, label string) (*EngineSnapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := time.Now() //ac3:wallclock wall-ms is a measured (non-deterministic) snapshot column, reported beside the byte-compared aggregates, never inside them
 		agg, err := e.Run()
 		if err != nil {
 			return nil, err
@@ -174,7 +174,7 @@ func Snapshot(seed uint64, label string) (*EngineSnapshot, error) {
 			BatchWindowMs:         int64(window),
 			Shards:                8,
 			Txs:                   agg.Txs,
-			WallMs:                time.Since(start).Milliseconds(),
+			WallMs:                time.Since(start).Milliseconds(), //ac3:wallclock measured snapshot column (see above)
 			Commits:               agg.Commits,
 			Aborts:                agg.Aborts,
 			Stuck:                 agg.Stuck,
@@ -212,9 +212,9 @@ func SnapshotScale(seed uint64, label string, rungs []int) (*EngineSnapshot, err
 			return nil, err
 		}
 		sampler := StartMemSampler()
-		start := time.Now()
+		start := time.Now() //ac3:wallclock wall-ms is a measured (non-deterministic) snapshot column, reported beside the byte-compared aggregates, never inside them
 		agg, err := e.Run()
-		wall := time.Since(start)
+		wall := time.Since(start) //ac3:wallclock measured snapshot column (see above)
 		mem := sampler.Stop()
 		if err != nil {
 			return nil, err

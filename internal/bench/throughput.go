@@ -22,6 +22,8 @@ type tpsTarget struct {
 
 // table1Targets are the top-4 permissionless cryptocurrencies by
 // market cap with the paper's throughput figures (O'Keeffe [24]).
+//
+//ac3:globalstate read-only paper-figure table; written once here, never mutated
 var table1Targets = []tpsTarget{
 	{Name: "Bitcoin", PaperTPS: 7},
 	{Name: "Ethereum", PaperTPS: 25},

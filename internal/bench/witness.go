@@ -39,7 +39,7 @@ func WitnessChoice(seed uint64) *Result {
 	// Part 2: fork-attack success probability vs depth — simulated
 	// double-spend race against the analytic Nakamoto bound.
 	fig := metrics.NewFigure("Fork-attack success probability vs confirmation depth d", "d", "P(success)")
-	rng := sim.NewRNG(seed)
+	rng := sim.NewRNG(seed) //ac3:globalrand bench drivers are seed roots: the experiment's seed parameter IS the run seed
 	for _, q := range []float64{0.10, 0.25, 0.40} {
 		simSeries := fig.AddSeries(fmt.Sprintf("simulated q=%.2f", q))
 		anaSeries := fig.AddSeries(fmt.Sprintf("analytic q=%.2f", q))

@@ -1,8 +1,6 @@
 package chain
 
 import (
-	"sync"
-
 	"repro/internal/crypto"
 	"repro/internal/vm"
 )
@@ -20,6 +18,10 @@ const flattenDepth = 48
 type State struct {
 	parent *State
 	depth  int
+
+	// pool recycles this tree's overlay layers. Every layer of one
+	// network's state tree shares the tree root's pool; see statePool.
+	pool *statePool
 
 	utxos     map[OutPoint]TxOut
 	spent     map[OutPoint]bool
@@ -41,14 +43,39 @@ type State struct {
 	byOwner map[crypto.Address]map[OutPoint]struct{}
 }
 
-// statePool recycles overlay layers. Block building churns through one
-// trial overlay per candidate transaction (discarded on failure,
-// absorbed and discarded on success), which at 100k+ AC2Ts dominates
-// the allocation profile; recycling the five little maps keeps
-// allocs-per-AC2T flat. Only provably unshared layers may be recycled
-// — states admitted to an executor are shared across views and must
-// never re-enter the pool.
-var statePool = sync.Pool{New: func() any { return newStateMaps() }}
+// statePool recycles overlay layers within one state tree. Block
+// building churns through one trial overlay per candidate transaction
+// (discarded on failure, absorbed and discarded on success), which at
+// 100k+ AC2Ts dominates the allocation profile; recycling the five
+// little maps keeps allocs-per-AC2T flat. Only provably unshared
+// layers may be recycled — states admitted to an executor are shared
+// across views and must never re-enter the pool.
+//
+// The pool is per tree (one per network's genesis base), not process-
+// global: recycling used to go through a shared sync.Pool, which was
+// the one piece of cross-shard-world mutable state in this package —
+// exactly what the determinism contract forbids (ac3lint: shardworld,
+// globalstate). A plain free list is also cheaper here, because
+// everything in one tree runs on its shard world's single goroutine.
+type statePool struct {
+	free []*State
+}
+
+func (p *statePool) get() *State {
+	if n := len(p.free) - 1; n >= 0 {
+		s := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		return s
+	}
+	s := newStateMaps()
+	s.pool = p
+	return s
+}
+
+func (p *statePool) put(s *State) {
+	p.free = append(p.free, s)
+}
 
 func newStateMaps() *State {
 	return &State{
@@ -65,6 +92,7 @@ func newStateMaps() *State {
 // ApplyBlock's error-path scratch child — both are invisible outside
 // the call that created them).
 func (s *State) recycle() {
+	pool := s.pool
 	s.parent = nil
 	s.depth = 0
 	clear(s.utxos)
@@ -73,12 +101,15 @@ func (s *State) recycle() {
 	clear(s.balances)
 	clear(s.hasBal)
 	s.byOwner = nil
-	statePool.Put(s)
+	pool.put(s)
 }
 
-// NewState returns an empty base state.
+// NewState returns an empty base state rooting a fresh tree (and a
+// fresh overlay pool).
 func NewState() *State {
-	return newStateMaps()
+	s := newStateMaps()
+	s.pool = &statePool{}
+	return s
 }
 
 // Child returns a fresh overlay on top of s. When the overlay chain
@@ -97,7 +128,7 @@ func (s *State) Child() *State {
 // into s with absorb, so they must never turn into deep copies. The
 // layer comes from statePool; recycle() returns it.
 func (s *State) overlay() *State {
-	c := statePool.Get().(*State)
+	c := s.pool.get()
 	c.parent = s
 	c.depth = s.depth + 1
 	return c
@@ -122,9 +153,12 @@ func (s *State) absorb(t *State) {
 	}
 }
 
-// flatten collapses the overlay chain into a single base state.
+// flatten collapses the overlay chain into a single base state. The
+// flattened base stays in s's tree: it inherits the pool rather than
+// rooting a new one.
 func (s *State) flatten() *State {
-	out := NewState()
+	out := newStateMaps()
+	out.pool = s.pool
 	// Walk from the base up so newer overlays overwrite older entries.
 	var stack []*State
 	for cur := s; cur != nil; cur = cur.parent {

@@ -1,0 +1,99 @@
+package chain
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Regression tests for the overlay pool's scope: recycling used to go
+// through a process-global sync.Pool, so overlay layers migrated
+// between shard worlds — the one piece of cross-world mutable state in
+// this package (flagged by ac3lint's shardworld and globalstate
+// analyzers). The pool is now a plain per-tree free list.
+
+func TestStatePoolIsPerTree(t *testing.T) {
+	a := NewState()
+	b := NewState()
+	if a.pool == b.pool {
+		t.Fatal("two fresh trees share an overlay pool")
+	}
+
+	// A recycled overlay is reused within its own tree...
+	o1 := a.overlay()
+	o1.recycle()
+	o2 := a.overlay()
+	if o1 != o2 {
+		t.Fatal("recycled overlay not reused within its tree")
+	}
+	if o2.pool != a.pool {
+		t.Fatal("reused overlay does not belong to its tree's pool")
+	}
+
+	// ...and never resurfaces in another tree.
+	o2.recycle()
+	if ob := b.overlay(); ob == o2 {
+		t.Fatal("overlay recycled in tree A resurfaced in tree B")
+	}
+
+	// A flattened base stays in its tree: it inherits the pool rather
+	// than rooting a new one.
+	f := a.overlay().flatten()
+	if f.pool != a.pool {
+		t.Fatal("flattened base rooted a fresh pool instead of inheriting its tree's")
+	}
+}
+
+func TestRecycledOverlayComesBackEmpty(t *testing.T) {
+	base := NewState()
+	o := base.overlay()
+	op := OutPoint{Index: 3}
+	o.AddUTXO(op, TxOut{Value: 7})
+	o.Spend(OutPoint{Index: 9})
+	o.recycle()
+
+	o2 := base.overlay()
+	if o2 != o {
+		t.Fatal("expected the recycled overlay back")
+	}
+	if len(o2.utxos) != 0 || len(o2.spent) != 0 {
+		t.Fatal("recycled overlay kept entries from its previous life")
+	}
+	if o2.parent != base || o2.depth != 1 {
+		t.Fatalf("reused overlay not re-parented: parent ok=%v depth=%d", o2.parent == base, o2.depth)
+	}
+}
+
+// TestOutPointCompareIsTotalOrder pins the canonical outpoint order
+// every sequence-producing consumer (funding selection, genesis
+// layout) sorts with: transaction id bytes first, then output index.
+func TestOutPointCompareIsTotalOrder(t *testing.T) {
+	var lo, hi OutPoint
+	hi.TxID[0] = 1
+	pts := []OutPoint{
+		lo,
+		{TxID: lo.TxID, Index: 1},
+		{TxID: lo.TxID, Index: 2},
+		hi,
+		{TxID: hi.TxID, Index: 5},
+	}
+	for i, p := range pts {
+		for j, q := range pts {
+			got := p.Compare(q)
+			switch {
+			case i == j && got != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", p, q, got)
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want < 0", p, q, got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want > 0", p, q, got)
+			}
+			if got != -q.Compare(p) {
+				t.Errorf("Compare(%v, %v) not antisymmetric", p, q)
+			}
+		}
+	}
+	// The id comparison is byte-lexicographic, matching bytes.Compare.
+	if got, want := pts[0].Compare(pts[3]), bytes.Compare(lo.TxID[:], hi.TxID[:]); got != want {
+		t.Errorf("id ordering %d disagrees with bytes.Compare %d", got, want)
+	}
+}

@@ -58,6 +58,23 @@ type OutPoint struct {
 // String renders the outpoint.
 func (o OutPoint) String() string { return fmt.Sprintf("%s:%d", o.TxID, o.Index) }
 
+// Compare orders outpoints canonically: by transaction id bytes, then
+// output index. Every place a set of outpoints becomes a sequence
+// (funding selection, genesis layout) must sort with this, never rely
+// on map iteration order.
+func (o OutPoint) Compare(p OutPoint) int {
+	if c := bytes.Compare(o.TxID[:], p.TxID[:]); c != 0 {
+		return c
+	}
+	switch {
+	case o.Index < p.Index:
+		return -1
+	case o.Index > p.Index:
+		return 1
+	}
+	return 0
+}
+
 // TxOut is an asset owned by an identity.
 type TxOut struct {
 	Value vm.Amount

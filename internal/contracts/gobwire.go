@@ -24,6 +24,8 @@ import (
 // New gob-transmitted top-level types must be appended — order is
 // wire-visible, so insertions before the end renumber everything
 // after them.
+//
+//ac3:globalstate this init exists to PIN gob's process-global type-id counter — the one deliberate init-order dependency, and the fix for the bug class this analyzer guards
 func init() {
 	for _, v := range []any{
 		&HTLCParams{},

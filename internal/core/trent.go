@@ -50,7 +50,7 @@ type trentEntry struct {
 // NewTrent creates the witness with read clients on the given world's
 // chains. latency is the request/response one-way delay.
 func NewTrent(w *xchain.World, seed uint64, latency sim.Time) *Trent {
-	rng := sim.NewRNG(seed)
+	rng := sim.NewRNG(seed) //ac3:globalrand seed parameter descends from the world seed (runners derive it; engine forks per shard)
 	key := crypto.MustGenerateKey(crypto.NewRandReader(rng.Uint64))
 	t := &Trent{
 		Key:     key,

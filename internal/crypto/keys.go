@@ -27,6 +27,8 @@ const HashSize = sha256.Size
 type Hash [HashSize]byte
 
 // ZeroHash is the all-zero digest, used as the genesis parent.
+//
+//ac3:globalstate zero-value sentinel compared by value; never written
 var ZeroHash Hash
 
 // Sum hashes the concatenation of the given byte slices.
@@ -74,6 +76,8 @@ type Address [20]byte
 
 // ZeroAddress is the empty address; contracts transferring to it burn
 // assets, so validation rejects it as a transaction output owner.
+//
+//ac3:globalstate zero-value sentinel compared by value; never written
 var ZeroAddress Address
 
 // String renders the address in hex.

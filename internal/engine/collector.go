@@ -12,6 +12,8 @@ import (
 // record the engine keeps (no per-tx samples survive grading — see
 // ShardResult), so the ladder is deliberately fine: aggregate
 // percentiles interpolate inside these buckets.
+//
+//ac3:globalstate canonical histogram ladder; written once here, read-only (changing it is a wire-format change)
 var latencyBounds = []int64{
 	int64(15 * sim.Second), int64(30 * sim.Second),
 	int64(1 * sim.Minute), int64(90 * sim.Second), int64(2 * sim.Minute),
@@ -24,6 +26,8 @@ var latencyBounds = []int64{
 // phaseBounds are the per-phase latency histogram bounds in virtual
 // milliseconds. Phases are shorter than end-to-end latencies (a
 // decision wait can be near-zero), so the scale starts at seconds.
+//
+//ac3:globalstate canonical histogram ladder; written once here, read-only (changing it is a wire-format change)
 var phaseBounds = []int64{
 	int64(5 * sim.Second), int64(15 * sim.Second), int64(30 * sim.Second),
 	int64(1 * sim.Minute), int64(2 * sim.Minute), int64(4 * sim.Minute),

@@ -269,7 +269,7 @@ func (e *Engine) Run() (*Aggregate, error) {
 
 	// Shard seeds and transaction split derive deterministically from
 	// the master seed: the first Txs%Shards shards take one extra.
-	seedRNG := sim.NewRNG(cfg.Seed)
+	seedRNG := sim.NewRNG(cfg.Seed) //ac3:globalrand cfg.Seed is the run's root seed: this is where the whole seed tree starts
 	seeds := make([]uint64, shards)
 	for i := range seeds {
 		seeds[i] = seedRNG.Uint64()

@@ -247,7 +247,7 @@ func runShard(s *sim.Sim, idx int, seed uint64, wl Workload, txCount, prune int,
 // the shard seed, independent of the world's own entropy, so the
 // stream shape does not perturb mining randomness and vice versa.
 func (e *shardExec) buildWorld(txCount int) error {
-	wlRNG := sim.NewRNG(e.seed ^ 0x9e3779b97f4a7c15)
+	wlRNG := sim.NewRNG(e.seed ^ 0x9e3779b97f4a7c15) //ac3:globalrand derives from the shard seed; the xor constant decorrelates workload draws from world entropy
 	b := xchain.NewBuilderOn(e.s)
 	e.assetIDs = make([]chain.ID, e.wl.AssetChains)
 	for i := range e.assetIDs {

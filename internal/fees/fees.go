@@ -19,6 +19,8 @@ type Schedule struct {
 }
 
 // The paper's two reference fee points.
+//
+//ac3:globalstate read-only paper constants; written once here, never mutated
 var (
 	ScheduleETH300 = Schedule{DeployUSD: 4.00, CallUSD: 4.00, Label: "ETH @ $300"}
 	ScheduleETH140 = Schedule{DeployUSD: 2.00, CallUSD: 2.00, Label: "ETH @ $140"}

@@ -1,0 +1,59 @@
+// Package analysis is a minimal, self-contained reimplementation of
+// the golang.org/x/tools/go/analysis API surface that ac3lint's
+// analyzers program against. The build environment for this module is
+// intentionally dependency-free (stdlib only), so rather than vendor
+// x/tools we keep the same shape — Analyzer, Pass, Diagnostic — on top
+// of the stdlib go/ast + go/types machinery. An analyzer written here
+// ports to the real framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //ac3:<name>
+	// escape-hatch annotations. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by `ac3lint -help`.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings
+	// through pass.Report / pass.Reportf. The result value is unused
+	// (kept for x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between one analyzer run and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ReadFile returns the source bytes of a file in the package, for
+	// line-level annotation parsing. Never nil.
+	ReadFile func(filename string) ([]byte, error)
+
+	// Report delivers one diagnostic. Never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

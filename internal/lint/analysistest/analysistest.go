@@ -1,0 +1,181 @@
+// Package analysistest runs ac3lint analyzers against golden testdata
+// packages, mirroring golang.org/x/tools/go/analysis/analysistest:
+// expected diagnostics are declared inline in the fixture source as
+// `// want "regexp"` (or backquoted) comments on the line where the
+// diagnostic must appear. Multiple patterns on one line expect
+// multiple diagnostics on that line.
+//
+// Because scope rules key off import paths, fixtures are loaded under
+// a caller-chosen synthetic import path (e.g. a shardworld fixture
+// loads as "repro/internal/chain"); the same directory can be loaded
+// twice under different paths to test in-scope and out-of-scope
+// behavior of one analyzer.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// sharedLoader caches the type-checked stdlib (and repro dependency)
+// closure across Run calls in one test binary. Tests in this repo do
+// not use t.Parallel, and the loader is test-only, so no locking.
+var sharedLoader = load.NewLoader("")
+
+// Run loads dir as a package named importPath, applies a, and checks
+// the findings against the fixture's want comments.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := sharedLoader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := lint.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !wants.match(f.File, f.Line, f.Message) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct {
+	wants []*want
+}
+
+// match consumes the first unmatched want on (file, line) whose
+// pattern matches msg.
+func (ws *wantSet) match(file string, line int, msg string) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// collectWants scans every fixture line for `want` specs inside
+// comments. A spec is the word "want" followed by one or more
+// double-quoted or backquoted regexps.
+func collectWants(pkg *load.Package) (*wantSet, error) {
+	ws := &wantSet{}
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		src, err := readSource(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, lineText := range strings.Split(src, "\n") {
+			c := strings.Index(lineText, "//")
+			if c < 0 {
+				continue
+			}
+			comment := lineText[c:]
+			w := strings.Index(comment, "want ")
+			if w < 0 {
+				continue
+			}
+			pats, err := parsePatterns(comment[w+len("want "):])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, i+1, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", name, i+1, p, err)
+				}
+				ws.wants = append(ws.wants, &want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return ws, nil
+}
+
+func readSource(name string) (string, error) {
+	b, err := os.ReadFile(name)
+	return string(b), err
+}
+
+// parsePatterns extracts consecutive quoted strings from s.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern")
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern")
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			if len(out) == 0 {
+				return nil, fmt.Errorf("want requires a quoted pattern")
+			}
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// The escape hatch: `//ac3:<analyzer> <justification>` suppresses one
+// analyzer's findings. Placement rules, mirroring //nolint ergonomics:
+//
+//   - trailing on a line: covers that line;
+//   - alone on a line: covers that line and the next;
+//   - in the doc comment of a declaration: covers the whole
+//     declaration.
+//
+// The justification is mandatory. An annotation without one is itself
+// a finding — the whole point is that every exception states why it
+// is safe at the site where the next reader meets it.
+const directivePrefix = "//ac3:"
+
+// directiveSet indexes the //ac3: annotations of one package.
+type directiveSet struct {
+	pass *analysis.Pass
+	// byLine maps analyzer name → file:line → justification.
+	byLine map[string]map[lineKey]string
+	// missing records directives with an empty justification.
+	missing []token.Pos
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectDirectives scans the package's comments once.
+func collectDirectives(pass *analysis.Pass) *directiveSet {
+	ds := &directiveSet{pass: pass, byLine: make(map[string]map[lineKey]string)}
+	for _, f := range pass.Files {
+		var src []byte
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if b, err := pass.ReadFile(filename); err == nil {
+			src = b
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ds.add(c, src)
+			}
+		}
+		// Doc-comment directives cover their whole declaration.
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				name, just, ok := parseDirective(c.Text)
+				if !ok || just == "" {
+					continue
+				}
+				start := pass.Fset.Position(decl.Pos()).Line
+				end := pass.Fset.Position(decl.End()).Line
+				for line := start; line <= end; line++ {
+					ds.set(name, filename, line, just)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) add(c *ast.Comment, src []byte) {
+	name, just, ok := parseDirective(c.Text)
+	if !ok {
+		return
+	}
+	pos := ds.pass.Fset.Position(c.Pos())
+	if just == "" {
+		// Only the analyzer the annotation names reports it, so a bare
+		// directive yields exactly one finding.
+		if name == ds.pass.Analyzer.Name {
+			ds.missing = append(ds.missing, c.Pos())
+		}
+		return
+	}
+	ds.set(name, pos.Filename, pos.Line, just)
+	// A directive alone on its line annotates the line below it.
+	if onlyCommentOnLine(src, pos) {
+		ds.set(name, pos.Filename, pos.Line+1, just)
+	}
+}
+
+func (ds *directiveSet) set(name, file string, line int, just string) {
+	m := ds.byLine[name]
+	if m == nil {
+		m = make(map[lineKey]string)
+		ds.byLine[name] = m
+	}
+	m[lineKey{file, line}] = just
+}
+
+// allowed reports whether an //ac3:<name> annotation covers pos.
+func (ds *directiveSet) allowed(name string, pos token.Pos) bool {
+	p := ds.pass.Fset.Position(pos)
+	_, ok := ds.byLine[name][lineKey{p.Filename, p.Line}]
+	return ok
+}
+
+// reportMissingJustifications emits a finding for every directive that
+// names this pass's analyzer but has no justification text.
+func (ds *directiveSet) reportMissingJustifications() {
+	for _, pos := range ds.missing {
+		ds.pass.Reportf(pos, "//ac3: annotation requires a justification (\"//ac3:%s <why this site is safe>\")", ds.pass.Analyzer.Name)
+	}
+}
+
+// parseDirective splits "//ac3:name justification". The bool reports
+// whether this is an ac3 directive at all. A nested "//" ends the
+// justification, so trailing markers (such as the golden tests'
+// `// want` specs) are not mistaken for justification text.
+func parseDirective(text string) (name, justification string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name, justification, _ = strings.Cut(rest, " ")
+	if name == "" {
+		return "", "", false
+	}
+	if i := strings.Index(justification, "//"); i >= 0 {
+		justification = justification[:i]
+	}
+	return name, strings.TrimSpace(justification), true
+}
+
+// onlyCommentOnLine reports whether the comment at pos is the first
+// non-whitespace content of its line.
+func onlyCommentOnLine(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	lineStart := pos.Offset - (pos.Column - 1)
+	if lineStart < 0 {
+		return false
+	}
+	return strings.TrimSpace(string(src[lineStart:pos.Offset])) == ""
+}
+
+// readFileCached returns a ReadFile that caches per package run.
+func readFileCached() func(string) ([]byte, error) {
+	cache := make(map[string][]byte)
+	return func(name string) ([]byte, error) {
+		if b, ok := cache[name]; ok {
+			return b, nil
+		}
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		cache[name] = b
+		return b, nil
+	}
+}

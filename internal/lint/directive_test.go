@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		just string
+		ok   bool
+	}{
+		{"//ac3:wallclock measured out-of-band", "wallclock", "measured out-of-band", true},
+		{"//ac3:maporder", "maporder", "", true},
+		{"//ac3:maporder   ", "maporder", "", true},
+		// A nested comment marker ends the justification (golden tests
+		// put `// want` specs after directives).
+		{"//ac3:globalrand seed descends from run seed // trailing note", "globalrand", "seed descends from run seed", true},
+		{"//ac3:globalrand // trailing note only", "globalrand", "", true},
+		{"// not a directive", "", "", false},
+		{"//ac3: justification without a name", "", "", false},
+		{"/* block comments are not directives */", "", "", false},
+	}
+	for _, c := range cases {
+		name, just, ok := parseDirective(c.text)
+		if name != c.name || just != c.just || ok != c.ok {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), expected (%q, %q, %v)",
+				c.text, name, just, ok, c.name, c.just, c.ok)
+		}
+	}
+}
+
+func TestOnlyCommentOnLine(t *testing.T) {
+	src := []byte("package p\n\n\t// alone on its line\nvar x = 1 // trailing\n")
+	alone := token.Position{Offset: 12, Column: 2}     // the tab-indented comment
+	trailing := token.Position{Offset: 43, Column: 11} // after "var x = 1 "
+	if !onlyCommentOnLine(src, alone) {
+		t.Errorf("full-line comment not recognized as alone on its line")
+	}
+	if onlyCommentOnLine(src, trailing) {
+		t.Errorf("trailing comment misclassified as alone on its line")
+	}
+	if onlyCommentOnLine(nil, alone) {
+		t.Errorf("nil source must not classify as full-line")
+	}
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// GlobalRand keeps every random stream derived from a sim seed.
+// math/rand's package-level functions share one process-global,
+// lazily-seeded source: two shard worlds drawing from it entangle
+// their schedules, and the draw order depends on goroutine
+// interleaving. crypto/rand is OS entropy — nondeterministic by
+// definition (keys derive from sim.RNG via crypto.NewRandReader
+// instead). Both imports are banned outright in deterministic
+// packages.
+//
+// sim.NewRNG is the only primitive that mints a stream from a raw
+// integer, so each call outside package sim is a place where entropy
+// enters the system. Those sites must prove their seed descends from
+// the run seed — `rng.Fork()` is always safe and needs no annotation;
+// a NewRNG call needs `//ac3:globalrand <where the seed comes from>`.
+var GlobalRand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand and crypto/rand in deterministic packages and require every " +
+		"sim.NewRNG seed to be justified as derived from the run seed (prefer RNG.Fork)",
+	Run: runGlobalRand,
+}
+
+var bannedRandImports = map[string]string{
+	"math/rand":    "package-global source; draw order depends on goroutine interleaving",
+	"math/rand/v2": "package-global source; draw order depends on goroutine interleaving",
+	"crypto/rand":  "OS entropy is nondeterministic; derive from sim.RNG via crypto.NewRandReader",
+}
+
+func runGlobalRand(pass *analysis.Pass) (any, error) {
+	if !deterministicPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dirs := collectDirectives(pass)
+	dirs.reportMissingJustifications()
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			why, banned := bannedRandImports[path]
+			if !banned || dirs.allowed("globalrand", imp.Pos()) {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import %q in deterministic package %s: %s", path, pass.Pkg.Path(), why)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() != "repro/internal/sim" || fn.Name() != "NewRNG" {
+				return true
+			}
+			if pass.Pkg.Path() == "repro/internal/sim" {
+				return true // the sim itself is the root of the seed tree
+			}
+			if dirs.allowed("globalrand", call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "sim.NewRNG mints a fresh random stream; fork from an existing sim RNG (s.RNG().Fork()) or annotate //ac3:globalrand stating how the seed derives from the run seed")
+			return true
+		})
+	}
+	return nil, nil
+}

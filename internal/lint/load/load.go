@@ -1,0 +1,302 @@
+// Package load parses and type-checks Go packages for ac3lint without
+// depending on golang.org/x/tools/go/packages. Package metadata comes
+// from one `go list -deps -json` invocation; everything in the
+// dependency closure — including the standard library — is
+// type-checked from source, so the loader works in a hermetic build
+// environment with no compiled export data and no module downloads.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg mirrors the subset of `go list -json` output we consume.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *listErr
+}
+
+type listErr struct {
+	Err string
+}
+
+// Loader type-checks packages on demand, memoizing by import path.
+// Each import path is checked exactly once, so every consumer sees a
+// single *types.Package identity — a package that is both a lint
+// target and a dependency of another target is checked with full
+// syntax/type info the one time.
+type Loader struct {
+	Fset     *token.FileSet
+	metas    map[string]*listPkg
+	pkgs     map[string]*types.Package
+	full     map[string]*Package
+	wantFull map[string]bool
+	dir      string // working directory for `go list` (module root context)
+}
+
+// NewLoader returns an empty loader that resolves `go list` queries
+// from dir (any directory inside the module works; "" means the
+// current directory).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Fset:     token.NewFileSet(),
+		metas:    make(map[string]*listPkg),
+		pkgs:     make(map[string]*types.Package),
+		full:     make(map[string]*Package),
+		wantFull: make(map[string]bool),
+		dir:      dir,
+	}
+}
+
+// Load resolves patterns (e.g. "./...") to packages and type-checks
+// each matched package with full syntax and type information.
+// Dependencies are type-checked as needed but not returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	ld := NewLoader(dir)
+	if err := ld.fetchMeta(append([]string{"-deps"}, patterns...)); err != nil {
+		return nil, err
+	}
+	var roots []*listPkg
+	for _, m := range ld.metas {
+		if !m.DepOnly && !m.Standard {
+			roots = append(roots, m)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	for _, m := range roots {
+		ld.wantFull[m.ImportPath] = true
+	}
+	out := make([]*Package, 0, len(roots))
+	for _, m := range roots {
+		if _, err := ld.ensure(m.ImportPath); err != nil {
+			return nil, err
+		}
+		out = append(out, ld.full[m.ImportPath])
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the .go files of one directory as a package with
+// the given import path, resolving its imports through the loader.
+// The analyzer test harness uses this to present a testdata directory
+// as if it lived at any chosen path in the module (scope rules key off
+// import paths).
+func (ld *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p != "" && p != "C" {
+				imports[p] = true
+			}
+		}
+	}
+	if err := ld.ensureMeta(sortedKeys(imports)); err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := ld.config(nil)
+	tpkg, err := conf.Check(importPath, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", dir, err)
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Fset: ld.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ensureMeta fetches `go list` metadata for any of the given import
+// paths (and their dependency closures) not already known.
+func (ld *Loader) ensureMeta(paths []string) error {
+	var missing []string
+	for _, p := range paths {
+		if p == "unsafe" {
+			continue
+		}
+		if _, ok := ld.metas[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	return ld.fetchMeta(append([]string{"-deps"}, missing...))
+}
+
+func (ld *Loader) fetchMeta(args []string) error {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Name,Dir,Standard,DepOnly,GoFiles,CgoFiles,Imports,ImportMap,Error"}, args...)...)
+	cmd.Dir = ld.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("load: go list: %v: %s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m listPkg
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if prev, ok := ld.metas[m.ImportPath]; ok {
+			// Keep the root (non-DepOnly) view if we have both.
+			if prev.DepOnly && !m.DepOnly {
+				ld.metas[m.ImportPath] = &m
+			}
+			continue
+		}
+		mm := m
+		ld.metas[m.ImportPath] = &mm
+	}
+	return nil
+}
+
+// ensure returns the type-checked (interface-only) package for path.
+func (ld *Loader) ensure(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	m, ok := ld.metas[path]
+	if !ok {
+		if err := ld.ensureMeta([]string{path}); err != nil {
+			return nil, err
+		}
+		if m, ok = ld.metas[path]; !ok {
+			return nil, fmt.Errorf("load: no metadata for %q", path)
+		}
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("load: %s: %s", path, m.Error.Err)
+	}
+	files, err := ld.parse(m)
+	if err != nil {
+		return nil, err
+	}
+	var info *types.Info
+	if ld.wantFull[path] {
+		info = newInfo()
+	}
+	conf := ld.config(m.ImportMap)
+	tpkg, err := conf.Check(path, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	ld.pkgs[path] = tpkg
+	if info != nil {
+		ld.full[path] = &Package{ImportPath: path, Dir: m.Dir, Fset: ld.Fset, Files: files, Types: tpkg, Info: info}
+	}
+	return tpkg, nil
+}
+
+func (ld *Loader) parse(m *listPkg) ([]*ast.File, error) {
+	if len(m.CgoFiles) > 0 {
+		return nil, fmt.Errorf("load: %s uses cgo, which this loader does not support", m.ImportPath)
+	}
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (ld *Loader) config(importMap map[string]string) *types.Config {
+	return &types.Config{
+		Importer:    &mappedImporter{ld: ld, importMap: importMap},
+		FakeImportC: true,
+		// The standard library type-checks cleanly from source; any
+		// error in our own packages must surface, so no Error hook.
+	}
+}
+
+// mappedImporter resolves an import string through the importing
+// package's vendor map (std vendors some golang.org/x repos) and then
+// through the loader.
+type mappedImporter struct {
+	ld        *Loader
+	importMap map[string]string
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.importMap[path]; ok {
+		path = mapped
+	}
+	return mi.ld.ensure(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

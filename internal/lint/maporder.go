@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapOrder flags `range` over a map whose iteration order can leak
+// into ordered output — the bug family behind both determinism breaks
+// this repo has had (map-order genesis transactions; map-order
+// byte accounting). Go randomizes map iteration order per run on
+// purpose, so any of the following inside a map-range body is a
+// schedule input:
+//
+//   - a byte-stream write (Write/WriteString/..., gob/json
+//     Encoder.Encode, fmt print/fprint) — serialized bytes now depend
+//     on iteration order;
+//   - a call into internal/trace — trace records are sequenced and
+//     byte-compared across runs;
+//   - an append to a slice declared outside the loop that is not
+//     passed to a sort (sort.*, slices.Sort*) later in the same
+//     function — the slice's element order is the iteration order.
+//
+// Order-independent folds (counter += v, map-to-map copies, min/max)
+// are legal and not flagged. The fix is almost always to iterate a
+// sorted key slice (or sort the collected slice before it escapes);
+// a genuinely commutative case gets `//ac3:maporder <why order
+// cannot matter>`.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map whose iteration order flows into serialized output, traces, " +
+		"or never-sorted slices (iterate sorted keys instead)",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	if !deterministicPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dirs := collectDirectives(pass)
+	dirs.reportMissingJustifications()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMapOrder(pass, dirs, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkFuncMapOrder(pass *analysis.Pass, dirs *directiveSet, body *ast.BlockStmt) {
+	// One function = one ordering scope: a slice filled in map order is
+	// fine exactly when the same function sorts it afterwards.
+	sortCalls := collectSortCalls(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if dirs.allowed("maporder", rng.Pos()) {
+			return false // the annotation covers the whole loop
+		}
+		inspectMapRangeBody(pass, dirs, rng, sortCalls)
+		return true
+	})
+}
+
+// sortCall records one position where a slice-valued object is handed
+// to a sorting function.
+type sortCall struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func collectSortCalls(pass *analysis.Pass, body *ast.BlockStmt) []sortCall {
+	var out []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || !isSortFunc(fn) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootObj(pass, arg); obj != nil {
+				out = append(out, sortCall{obj: obj, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isSortFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return strings.HasPrefix(fn.Name(), "Sort")
+}
+
+func inspectMapRangeBody(pass *analysis.Pass, dirs *directiveSet, rng *ast.RangeStmt, sortCalls []sortCall) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if why := sinkCall(pass, n); why != "" && !dirs.allowed("maporder", n.Pos()) {
+				pass.Reportf(n.Pos(), "%s inside range over map: output depends on map iteration order; iterate sorted keys (or annotate //ac3:maporder)", why)
+			}
+		case *ast.AssignStmt:
+			checkRangeAppend(pass, dirs, rng, n, sortCalls)
+		}
+		return true
+	})
+}
+
+// sinkCall classifies a call whose effect is order-sensitive
+// accumulation, returning a description or "".
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name, pkg := fn.Name(), fn.Pkg().Path()
+	switch {
+	case name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune":
+		return "byte-stream write " + pkg + "." + name
+	case name == "Encode" && (pkg == "encoding/gob" || pkg == "encoding/json"):
+		return pkg + " Encode"
+	case pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+		return "fmt." + name
+	case pkg == "repro/internal/trace":
+		return "trace call " + name
+	}
+	return ""
+}
+
+// checkRangeAppend flags `x = append(x, ...)` inside a map-range body
+// when x outlives the loop and is never subsequently sorted in the
+// enclosing function.
+func checkRangeAppend(pass *analysis.Pass, dirs *directiveSet, rng *ast.RangeStmt, as *ast.AssignStmt, sortCalls []sortCall) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return
+	} else if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	obj := rootObj(pass, as.Lhs[0])
+	if obj == nil || obj.Pos() > rng.Pos() {
+		return // declared inside the loop: per-iteration, dies before order matters
+	}
+	for _, sc := range sortCalls {
+		if sc.obj == obj && sc.pos > rng.End() {
+			return // sorted after the loop: order restored
+		}
+	}
+	if dirs.allowed("maporder", as.Pos()) {
+		return
+	}
+	pass.Reportf(as.Pos(), "append to %q inside range over map without a later sort: element order is map iteration order; sort %q after the loop or iterate sorted keys", obj.Name(), obj.Name())
+}
+
+// rootObj resolves the object an lvalue-ish expression names: the
+// identifier itself, or the field of a selector.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}

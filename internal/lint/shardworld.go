@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// ShardWorld enforces the one-goroutine-per-shard-world rule in the
+// packages that execute inside a shard world: chain, miner, core,
+// contracts, protocol. Everything in those packages runs on a single
+// goroutine driven by the shard's virtual-time event loop, which is
+// exactly why they need no locks and why their schedules are
+// reproducible. A `go` statement, a channel, or a sync primitive in
+// any of them either deadlocks the event loop or reintroduces the
+// host scheduler as a schedule input — both contract breaks.
+//
+// Concurrency belongs one layer up (internal/engine's worker pool,
+// cmd/*), where shard worlds are opaque units of work. A deliberate
+// exception inside a shard-world package needs
+// `//ac3:shardworld <justification>`.
+var ShardWorld = &analysis.Analyzer{
+	Name: "shardworld",
+	Doc: "forbid goroutines, channels, and sync primitives inside shard-world packages " +
+		"(chain, miner, core, contracts, protocol): one goroutine per shard world",
+	Run: runShardWorld,
+}
+
+func runShardWorld(pass *analysis.Pass) (any, error) {
+	if !shardWorldPkgs[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	dirs := collectDirectives(pass)
+	dirs.reportMissingJustifications()
+	report := func(pos token.Pos, what string) {
+		if !dirs.allowed("shardworld", pos) {
+			pass.Reportf(pos, "%s in shard-world package %s: one goroutine per shard world (move concurrency to the engine layer or annotate //ac3:shardworld)", what, pass.Pkg.Path())
+		}
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "sync" || path == "sync/atomic" {
+				report(imp.Pos(), "import "+strconv.Quote(path))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				report(n.Pos(), "go statement")
+			case *ast.SelectStmt:
+				report(n.Pos(), "select statement")
+			case *ast.SendStmt:
+				report(n.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					report(n.Pos(), "channel receive")
+				}
+			case *ast.ChanType:
+				report(n.Pos(), "channel type")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// Each analyzer runs over its golden package, loaded under a synthetic
+// in-scope import path; the `// want` comments in the fixture are the
+// expected findings, and annotated sites must stay silent.
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, fixture("wallclock"), "repro/internal/wallclocktest", lint.Wallclock)
+}
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, fixture("globalrand"), "repro/internal/grtest", lint.GlobalRand)
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, fixture("maporder"), "repro/internal/motest", lint.MapOrder)
+}
+
+func TestShardWorld(t *testing.T) {
+	analysistest.Run(t, fixture("shardworld"), "repro/internal/chain", lint.ShardWorld)
+}
+
+func TestGlobalState(t *testing.T) {
+	analysistest.Run(t, fixture("globalstate"), "repro/internal/gstest", lint.GlobalState)
+}
+
+// TestScopeExemptions loads a fixture that violates every rule at once
+// under out-of-scope import paths — a cmd/* front-end and the lint
+// suite's own subtree — and asserts the whole suite stays silent. The
+// fixture has no want comments, so any finding fails the test.
+func TestScopeExemptions(t *testing.T) {
+	for _, path := range []string{
+		"repro/cmd/scopetest",
+		"repro/internal/lint/scopetest",
+	} {
+		for _, a := range lint.All {
+			analysistest.Run(t, fixture("scope"), path, a)
+		}
+	}
+}
+
+// TestShardWorldOnlyInShardWorldPackages re-runs the concurrency-heavy
+// scope fixture under a deterministic-but-not-shard-world path: the
+// other analyzers fire there (which the golden packages already
+// cover), but shardworld specifically must not.
+func TestShardWorldOnlyInShardWorldPackages(t *testing.T) {
+	analysistest.Run(t, fixture("scope"), "repro/internal/enginetestfixture", lint.ShardWorld)
+}
+
+// TestSuiteOrder pins All's composition: five analyzers, stable
+// reporting order, unique names.
+func TestSuiteOrder(t *testing.T) {
+	wantNames := []string{"wallclock", "globalrand", "maporder", "shardworld", "globalstate"}
+	if len(lint.All) != len(wantNames) {
+		t.Fatalf("lint.All has %d analyzers, expected %d", len(lint.All), len(wantNames))
+	}
+	seen := map[string]bool{}
+	for i, a := range lint.All {
+		if a.Name != wantNames[i] {
+			t.Errorf("lint.All[%d] = %q, expected %q", i, a.Name, wantNames[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+var _ = []*analysis.Analyzer(lint.All) // the suite is typed as the shared analysis API

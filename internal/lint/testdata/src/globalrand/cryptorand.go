@@ -1,0 +1,5 @@
+package grtest
+
+import (
+	_ "crypto/rand" // want `import "crypto/rand" in deterministic package`
+)

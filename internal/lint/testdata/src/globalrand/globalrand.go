@@ -1,0 +1,25 @@
+// Golden fixture for the globalrand analyzer. Loaded by the tests as
+// "repro/internal/grtest" (in scope for the determinism contract).
+package grtest
+
+import (
+	"math/rand" // want `import "math/rand" in deterministic package`
+
+	"repro/internal/sim"
+)
+
+func badGlobalSource() int {
+	return rand.Intn(10)
+}
+
+func badMint() *sim.RNG {
+	return sim.NewRNG(7) // want `sim\.NewRNG mints a fresh random stream`
+}
+
+func forkedIsLegal(r *sim.RNG) *sim.RNG {
+	return r.Fork()
+}
+
+func annotatedMint(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed) //ac3:globalrand fixture: seed parameter descends from the run seed
+}

@@ -1,0 +1,34 @@
+// Golden fixture for the globalstate analyzer. Loaded by the tests as
+// "repro/internal/gstest" (in scope for the determinism contract).
+package gstest
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotFound = errors.New("gstest: not found") // sentinel error: allowed
+
+var errInternal = fmt.Errorf("gstest: internal %d", 7) // sentinel error: allowed
+
+var _ fmt.Stringer = label("") // blank compile-time assertion: allowed
+
+var registry = map[string]int{} // want `package-level var "registry" is mutable process-global state`
+
+var counter, gauge int // want `package-level var "counter"` `package-level var "gauge"`
+
+//ac3:globalstate fixture: read-only table, written once here and never mutated
+var table = []string{"a", "b"}
+
+type label string
+
+func (l label) String() string { return string(l) }
+
+func init() { // want `init function in deterministic package`
+	registry["x"] = 1
+}
+
+//ac3:globalstate fixture: pins registration order deliberately
+func init() {
+	registry["y"] = len(table)
+}

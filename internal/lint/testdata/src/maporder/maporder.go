@@ -1,0 +1,65 @@
+// Golden fixture for the maporder analyzer. Loaded by the tests as
+// "repro/internal/motest" (in scope for the determinism contract).
+package motest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badWrite(m map[string]int, w *strings.Builder) {
+	for k := range m {
+		w.WriteString(k) // want `byte-stream write strings\.WriteString inside range over map`
+	}
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map`
+	}
+}
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map without a later sort`
+	}
+	return keys
+}
+
+func sortedAfterLoopIsLegal(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func perIterationSliceIsLegal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var widened []int
+		widened = append(widened, vs...)
+		widened = append(widened, 0)
+		total += len(widened)
+	}
+	return total
+}
+
+func orderIndependentFoldIsLegal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func annotatedLoop(m map[string]bool) []string {
+	var all []string
+	for k := range m { //ac3:maporder fixture: the range-line directive covers the whole loop body
+		all = append(all, k)
+	}
+	return all
+}

@@ -1,0 +1,31 @@
+// Scope fixture: code that violates every rule at once, with no
+// expectations. The tests load this directory under out-of-scope
+// import paths (a cmd/* path and the lint suite's own subtree) and
+// assert that every analyzer stays silent — scope is keyed on import
+// path, not on what the code does.
+package scopetest
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var registry = map[string]int{}
+
+func init() {
+	registry["x"] = rand.Intn(10)
+}
+
+func outside(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	go func() {}()
+	var mu sync.Mutex
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+	return keys
+}

@@ -1,0 +1,37 @@
+// Golden fixture for the shardworld analyzer. Loaded by the tests as
+// "repro/internal/chain" — one of the five shard-world packages — so
+// the one-goroutine-per-shard-world rule applies. The scope fixture
+// loads concurrency-using code under a non-shard-world path to prove
+// the analyzer stays quiet elsewhere.
+package shardworldtest
+
+import "sync" // want `import "sync" in shard-world package`
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int // want `channel type in shard-world package`
+}
+
+func (g *guarded) spawn() {
+	go g.mu.Unlock() // want `go statement in shard-world package`
+}
+
+func send(c chan<- int) { // want `channel type in shard-world package`
+	c <- 1 // want `channel send in shard-world package`
+}
+
+func recv(c <-chan int) int { // want `channel type in shard-world package`
+	return <-c // want `channel receive in shard-world package`
+}
+
+func idle() {
+	select {} // want `select statement in shard-world package`
+}
+
+// annotated exercises the escape hatch: a doc-comment directive covers
+// the declaration.
+//
+//ac3:shardworld fixture: deliberate exception, documented at the site
+func annotated() {
+	go idle()
+}

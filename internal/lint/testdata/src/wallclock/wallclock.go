@@ -1,0 +1,43 @@
+// Golden fixture for the wallclock analyzer. Loaded by the tests as
+// "repro/internal/wallclocktest" (in scope for the determinism
+// contract).
+package wallclocktest
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badTimer() {
+	tick := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	tick.Stop()
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Second)    // want `time\.After reads the wall clock`
+}
+
+func pureConstructorsAreLegal() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}
+
+func annotatedTrailing() time.Time {
+	return time.Now() //ac3:wallclock fixture: trailing directive covers its own line
+}
+
+func annotatedAbove() time.Time {
+	//ac3:wallclock fixture: a full-line directive also covers the next line
+	return time.Now()
+}
+
+// annotatedDoc exercises the doc-comment placement: the directive in a
+// declaration's doc comment covers the whole declaration.
+//
+//ac3:wallclock fixture: doc-comment directive covers the whole declaration
+func annotatedDoc() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func missingJustification() time.Time {
+	return time.Now() //ac3:wallclock // want `requires a justification` `time\.Now reads the wall clock`
+}

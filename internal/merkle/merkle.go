@@ -14,6 +14,8 @@ import (
 // leafPrefix and nodePrefix domain-separate leaf and interior hashes,
 // preventing the classic second-preimage attack where an interior node
 // is presented as a leaf.
+//
+//ac3:globalstate domain-separation constants (slices only because Go has no const []byte); never written
 var (
 	leafPrefix = []byte{0x00}
 	nodePrefix = []byte{0x01}

@@ -3,6 +3,7 @@ package miner
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/chain"
 	"repro/internal/crypto"
@@ -320,14 +321,25 @@ func (c *Client) SelectFunds(amount vm.Amount) ([]chain.TxIn, vm.Amount, error) 
 			delete(c.reserved, op)
 		}
 	}
+	// Select in canonical outpoint order, never map iteration order:
+	// the chosen inputs are wire-visible (they pick the transaction's
+	// bytes, its id, and any contract address derived from it), so a
+	// map-order selection would make all of those a function of the
+	// runtime's per-process map seed the moment a wallet holds more
+	// than one spendable output.
+	owned := st.UTXOsOwnedBy(c.Key.Addr)
+	cands := make([]chain.OutPoint, 0, len(owned))
+	for op := range owned {
+		if !c.reserved[op] {
+			cands = append(cands, op)
+		}
+	}
+	slices.SortFunc(cands, chain.OutPoint.Compare)
 	var ins []chain.TxIn
 	var total vm.Amount
-	for op, out := range st.UTXOsOwnedBy(c.Key.Addr) {
-		if c.reserved[op] {
-			continue
-		}
+	for _, op := range cands {
 		ins = append(ins, chain.TxIn{Prev: op})
-		total += out.Value
+		total += owned[op].Value
 		if total >= amount {
 			break
 		}

@@ -1,0 +1,57 @@
+package miner
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+)
+
+// TestSelectFundsCanonicalOrder is the regression test for map-order
+// funding selection: SelectFunds used to pick inputs while ranging
+// over the wallet's UTXO map, so the moment a wallet held more than
+// one spendable output the chosen inputs — and with them the
+// transaction's bytes, its id, and any contract address derived from
+// it — depended on the runtime's per-process map seed. Selection must
+// walk candidates in canonical OutPoint order.
+//
+// The multi-UTXO wallet is the sole miner's own: after a few virtual
+// minutes of solo mining it holds one coinbase output per block.
+func TestSelectFundsCanonicalOrder(t *testing.T) {
+	pick := func() []chain.TxIn {
+		s, net, _ := testNet(t, 91, 1, p2p.LatencyModel{Base: 1})
+		net.Start()
+		s.RunUntil(5 * sim.Minute)
+		c := NewClient(net, 0, net.Node(0).Key)
+		// BlockReward is 50, so this spans several coinbase outputs.
+		ins, _, err := c.SelectFunds(120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ins
+	}
+
+	ins := pick()
+	if len(ins) < 3 {
+		t.Fatalf("selected %d inputs, expected at least 3 coinbase outputs", len(ins))
+	}
+	for i := 1; i < len(ins); i++ {
+		if ins[i-1].Prev.Compare(ins[i].Prev) >= 0 {
+			t.Fatalf("inputs out of canonical order at %d: %v then %v", i, ins[i-1].Prev, ins[i].Prev)
+		}
+	}
+
+	// An identically-seeded run builds an identical chain but distinct
+	// map instances with their own iteration order; the selection must
+	// come out the same anyway.
+	again := pick()
+	if len(again) != len(ins) {
+		t.Fatalf("re-run selected %d inputs, first run %d", len(again), len(ins))
+	}
+	for i := range ins {
+		if ins[i].Prev != again[i].Prev {
+			t.Fatalf("re-run input %d = %v, first run %v", i, again[i].Prev, ins[i].Prev)
+		}
+	}
+}

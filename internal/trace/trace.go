@@ -51,6 +51,8 @@ const (
 )
 
 // Phases lists the span taxonomy in canonical (causal) order.
+//
+//ac3:globalstate canonical phase order; written once here, read-only (aggregate tables iterate it instead of map keys)
 var Phases = []string{PhaseSetup, PhaseLock, PhaseDecisionWait, PhaseDecision, PhaseSettle}
 
 // Kind discriminates records.
